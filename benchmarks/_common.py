@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every paper table/figure has a ``bench_<id>.py`` here; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates all of them. Each bench executes its experiment once (via
+``benchmark.pedantic``), records the wall time, writes the data series
+to ``benchmarks/results/<id>.csv`` and the formatted table plus notes to
+``benchmarks/results/<id>.txt``, and attaches the experiment notes to
+the pytest-benchmark record.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to trade resolution for wall
+time; 2.0 approaches the paper's sweep densities.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Sweep-density multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def save_result(result: ExperimentResult) -> None:
+    """Persist one experiment's rows (CSV) and table+notes (text)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.to_csv(RESULTS_DIR / f"{result.experiment_id}.csv")
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(
+        result.format_table() + "\n"
+    )
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str) -> ExperimentResult:
+    """Standard body of one experiment bench."""
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale},
+        iterations=1,
+        rounds=1,
+    )
+    save_result(result)
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["scale"] = scale
+    for index, note in enumerate(result.notes):
+        benchmark.extra_info[f"note_{index}"] = note.splitlines()[0]
+    return result

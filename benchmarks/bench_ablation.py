@@ -1,0 +1,11 @@
+"""Regenerates Design-choice ablations.
+
+Convergence factor, window length, interpolation scheme, FR-FCFS vs FCFS, page policy and write-queue depth.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_ablation(benchmark):
+    result = run_experiment_benchmark(benchmark, "ablation")
+    assert result.rows

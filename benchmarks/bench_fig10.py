@@ -1,0 +1,11 @@
+"""Regenerates Figure 10: ZSim+Mess vs the actual memory system.
+
+Closes the loop: benchmark the substrate, feed the curves to the Mess simulator, benchmark the simulated machine, compare. Three memory technologies.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig10(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig10")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 11: accuracy and speed of six ZSim memory models.
+
+STREAM, LMbench and multichase on every model; errors and wall times.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig11(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig11")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 12: gem5+Mess on one channel, scaled.
+
+Single-channel DDR5/HBM2 Mess simulation scaled to the full channel count.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig12(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig12")
+    assert result.rows

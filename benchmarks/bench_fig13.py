@@ -1,0 +1,11 @@
+"""Regenerates Figure 13: gem5 memory-model accuracy on DDR5.
+
+gem5-simple, internal DDR5, Ramulator 2 and Mess against the DDR5 substrate.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig13(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig13")
+    assert result.rows

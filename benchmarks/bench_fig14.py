@@ -1,0 +1,11 @@
+"""Regenerates Figure 14: CXL expander across three simulators.
+
+Manufacturer-analog CXL curves reproduced by Mess inside ZSim-, gem5- and OpenPiton-style systems.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig14(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig14")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 15: HPCG on the Cascade Lake curves.
+
+Samples positioned on the curves with stress scores; saturated-time and peak-latency notes.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig15(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig15")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 16: the HPCG timeline analysis.
+
+MPI-delimited iterations, per-phase stress, and the ASCII timeline.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig16(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig16")
+    assert result.rows

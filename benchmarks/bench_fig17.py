@@ -1,0 +1,11 @@
+"""Regenerates Figure 17: perlbench and lbm on CXL vs remote socket.
+
+Operating points and performance deltas of the two characteristic workloads.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig17(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig17")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 18: remote-socket vs CXL across SPEC CPU2006.
+
+All 29 profiles sorted by bandwidth utilization with their performance deltas.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig18(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig18")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 2: the Skylake bandwidth-latency curve family.
+
+Emits the full point cloud, the derived metric annotations and the STREAM verticals.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig2(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig2")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 3: curve families of all eight platforms.
+
+One series per platform, plus the Zen 2 write-anomaly note.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig3(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig3")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 4: Graviton 3 vs gem5 memory models.
+
+Probes the gem5-simple, internal-DDR and Ramulator 2 analogs and compares each against the calibrated Graviton 3 family.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig4(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig4")
+    assert result.rows

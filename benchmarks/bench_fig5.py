@@ -1,0 +1,11 @@
+"""Regenerates Figure 5: Skylake vs the five ZSim memory models.
+
+Probes fixed-latency, M/D/1, internal DDR, DRAMsim3-analog and Ramulator-analog into curve families.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig5(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig5")
+    assert result.rows

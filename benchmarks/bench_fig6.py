@@ -1,0 +1,11 @@
+"""Regenerates Figure 6: trace-driven cycle-accurate simulators.
+
+Replays Mess-shaped traces through the external-simulator analogs and the cycle-level controller.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig6(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig6")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Figure 7: row-buffer hit/empty/miss statistics.
+
+Controller-measured censuses next to the DRAMsim3/Ramulator measured signatures.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_fig7(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig7")
+    assert result.rows

@@ -1,0 +1,84 @@
+"""Microbenchmarks of the framework's hot paths.
+
+Unlike the experiment benches (single-shot regenerations of paper
+figures), these use pytest-benchmark's statistical timing to track the
+throughput of the components everything else is built on: curve lookup,
+the Mess simulator's access path, the DRAM controller, and the cache
+hierarchy.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.simulator import MessMemorySimulator
+from repro.cpu.cache import Cache
+from repro.dram.controller import DramController
+from repro.dram.timing import DDR4_2666
+from repro.platforms.presets import INTEL_SKYLAKE, family
+from repro.request import AccessType, MemoryRequest
+
+FAMILY = family(INTEL_SKYLAKE)
+
+
+def test_curve_family_latency_lookup(benchmark):
+    """Bilinear (bandwidth, ratio) interpolation: the Mess inner loop."""
+    queries = [(b * 1.1, 0.5 + (b % 50) / 100) for b in range(100)]
+
+    def lookup():
+        total = 0.0
+        for bandwidth, ratio in queries:
+            total += FAMILY.latency_at(bandwidth, ratio)
+        return total
+
+    benchmark(lookup)
+
+
+def test_mess_simulator_access_path(benchmark):
+    """1000 requests through the analytical simulator (one window)."""
+    simulator = MessMemorySimulator(FAMILY)
+    counter = itertools.count()
+
+    def access_window():
+        base = next(counter) * 1000
+        for index in range(1000):
+            simulator.access(
+                MemoryRequest(
+                    ((base + index) % 65536) * 64,
+                    AccessType.READ,
+                    float(base + index),
+                )
+            )
+
+    benchmark(access_window)
+
+
+def test_dram_controller_throughput(benchmark):
+    """1000 mixed requests through the cycle-level controller."""
+    controller = DramController(DDR4_2666, channels=6)
+    counter = itertools.count()
+
+    def submit_batch():
+        base = next(counter) * 1000
+        for index in range(1000):
+            access = AccessType.WRITE if index % 3 == 0 else AccessType.READ
+            controller.submit(
+                MemoryRequest(
+                    (base + index) * 64, access, float(base + index)
+                )
+            )
+
+    benchmark(submit_batch)
+
+
+def test_cache_access_throughput(benchmark):
+    """1000 lookups in a 2 MB LLC with a streaming pattern."""
+    cache = Cache("L3", 2 * 1024 * 1024, 16, 18.0)
+    counter = itertools.count()
+
+    def access_batch():
+        base = next(counter) * 1000
+        for index in range(1000):
+            cache.access((base + index) * 64, is_store=index % 4 == 0)
+
+    benchmark(access_batch)

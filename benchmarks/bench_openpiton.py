@@ -1,0 +1,11 @@
+"""Regenerates Section IV-C: the OpenPiton findings.
+
+MSHR-limited read bandwidth, posted-write uplift, and the coherency-bug detection.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_openpiton(benchmark):
+    result = run_experiment_benchmark(benchmark, "openpiton")
+    assert result.rows

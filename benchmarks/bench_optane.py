@@ -1,0 +1,12 @@
+"""Validates the released artifact's Optane support (Section V-B).
+
+Probes the Optane device model into curves, compares against the preset
+family, and converges the Mess simulator on them.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_optane(benchmark):
+    result = run_experiment_benchmark(benchmark, "optane")
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regenerates Table I: quantitative platform comparison.
+
+Derives the metric set from the calibrated families of all eight platforms and prints it next to the paper's values.
+"""
+
+from _common import run_experiment_benchmark
+
+
+def test_table1(benchmark):
+    result = run_experiment_benchmark(benchmark, "table1")
+    assert result.rows

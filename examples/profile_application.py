@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Mess application profiling: HPCG on a Cascade Lake server (Section VI).
+
+1. sample the HPCG timeline at the Extrae period (10 ms);
+2. position every sample on the platform's bandwidth-latency curves and
+   score its memory stress;
+3. cut the timeline into iterations at MPI_Allreduce and summarize each
+   phase (the Figure 16 analysis);
+4. write and re-read the Mess-extended Paraver trace.
+"""
+
+from __future__ import annotations
+
+from repro import compute_metrics
+from repro.platforms import INTEL_CASCADE_LAKE, family
+from repro.profiling import (
+    MessProfile,
+    read_prv,
+    render_timeline,
+    sample_phase_profile,
+    split_iterations,
+    write_prv,
+)
+from repro.workloads import HpcgPhaseProfile
+
+
+def main() -> None:
+    curves = family(INTEL_CASCADE_LAKE)
+    metrics = compute_metrics(curves)
+    print(f"platform: {curves.name}")
+    print(
+        f"  unloaded {metrics.unloaded_latency_ns:.0f} ns, saturated "
+        f"bandwidth {metrics.saturated_bw_min_pct:.0f}-"
+        f"{metrics.saturated_bw_max_pct:.0f}% of "
+        f"{curves.theoretical_bandwidth_gbps:.0f} GB/s"
+    )
+
+    # -- sampling (the Extrae side) -------------------------------------
+    timeline = HpcgPhaseProfile(iterations=2)
+    samples = sample_phase_profile(
+        timeline,
+        peak_bandwidth_gbps=metrics.max_measured_bandwidth_gbps,
+        sample_ms=10.0,
+    )
+    print(f"\nsampled {len(samples)} windows of 10 ms")
+
+    # -- positioning on the curves (the Paraver side) --------------------
+    profile = MessProfile.from_samples(curves, samples)
+    print(
+        f"  {100 * profile.saturated_time_fraction():.0f}% of the run in "
+        "the saturated bandwidth area "
+        f"(paper: 'most of the HPCG execution')"
+    )
+    print(
+        f"  peak: {profile.peak_bandwidth_gbps():.0f} GB/s at "
+        f"{profile.peak_latency_ns():.0f} ns"
+    )
+    histogram = profile.color_histogram()
+    print(
+        f"  stress gradient: {histogram['green']} green / "
+        f"{histogram['yellow']} yellow / {histogram['red']} red"
+    )
+
+    # -- timeline analysis (Figure 16) -----------------------------------
+    print("\nper-iteration phase analysis (MPI_Allreduce delimits):")
+    for iteration in split_iterations(profile):
+        print(f"  iteration {iteration.index}:")
+        for phase in iteration.phases:
+            mpi = f" [{phase.mpi_call}]" if phase.mpi_call else ""
+            print(
+                f"    {phase.label:14s} {phase.duration_ns / 1e6:6.0f} ms  "
+                f"stress {phase.mean_stress:.2f}{mpi}"
+            )
+
+    print("\ntimeline (phase letters, stress glyph density):")
+    print(render_timeline(profile, width=88))
+
+    # -- Paraver round trip ----------------------------------------------
+    write_prv(profile.points, "hpcg_mess.prv")
+    trace = read_prv("hpcg_mess.prv")
+    print(
+        f"\nwrote hpcg_mess.prv: {len(trace.events)} events over "
+        f"{trace.total_time_ns / 1e6:.0f} ms, phases: "
+        f"{sorted(trace.phase_table.values())}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CXL memory expander: characterization, simulation, NUMA emulation.
+
+Walks Section V-C and Appendix B:
+
+1. characterize the manufacturer-analog CXL model (full-duplex link +
+   DDR5 backend) into its bandwidth-latency curves — note the balanced
+   read/write optimum no DDR system shows;
+2. run the Mess simulator with those curves inside an out-of-order and
+   an in-order (OpenPiton-style) system;
+3. compare CXL against the remote-socket emulation for a low-bandwidth
+   and a bandwidth-bound SPEC workload.
+"""
+
+from __future__ import annotations
+
+from repro.bench import MessBenchmark, MessBenchmarkConfig, ProbeConfig, characterize_model
+from repro.core import MessMemorySimulator
+from repro.cpu import CacheConfig, HierarchyConfig, SystemConfig
+from repro.memmodels import CxlExpanderModel
+from repro.platforms import cxl_expander_family, remote_socket_family
+from repro.workloads import SPEC_CPU2006, estimate_time_per_access, performance_delta_pct
+
+
+def probe_manufacturer_curves():
+    """Step 1: the SystemC-model-analog characterization."""
+    config = ProbeConfig(
+        read_ratios=(0.0, 0.25, 0.5, 0.75, 1.0),
+        gaps_ns=(0.8, 1.5, 3.0, 7.0, 20.0),
+        ops_per_point=4000,
+        warmup_ops=600,
+        streams=4,
+        max_outstanding=160,
+    )
+    return characterize_model(
+        CxlExpanderModel, config, name="cxl", theoretical_bandwidth_gbps=54.0
+    )
+
+
+def system_config(in_order: bool) -> SystemConfig:
+    return SystemConfig(
+        cores=12,
+        hierarchy=HierarchyConfig(
+            l1=CacheConfig(32 * 1024, 8, 1.5),
+            l2=CacheConfig(256 * 1024, 8, 5.0),
+            l3=CacheConfig(2 * 1024 * 1024, 16, 18.0),
+            noc_latency_ns=45.0,
+        ),
+        mshrs=12,
+        in_order=in_order,
+    )
+
+
+def main() -> None:
+    print("== 1. manufacturer-model characterization ==")
+    curves = probe_manufacturer_curves()
+    for curve in curves:
+        print(
+            f"  read ratio {curve.read_ratio:.2f}: peak "
+            f"{curve.max_bandwidth_gbps:5.1f} GB/s, unloaded "
+            f"{curve.unloaded_latency_ns:5.0f} ns"
+        )
+    best = max(curves, key=lambda c: c.max_bandwidth_gbps)
+    print(
+        f"  -> best mix is {best.read_ratio:.0%} reads: the full-duplex "
+        "link rewards balanced traffic (unlike any DDR system)"
+    )
+
+    print("\n== 2. Mess simulation of the expander in two CPU systems ==")
+    sweep = MessBenchmarkConfig(
+        store_fractions=(0.0, 1.0),
+        nop_counts=(0, 600),
+        warmup_ns=4000.0,
+        measure_ns=9000.0,
+    )
+    for label, in_order in (("out-of-order", False), ("in-order (OpenPiton)", True)):
+        bench = MessBenchmark(
+            system_config=system_config(in_order),
+            memory_factory=lambda: MessMemorySimulator(curves),
+            config=sweep,
+            name=label,
+        )
+        simulated = bench.run()
+        read_curve = simulated.nearest(1.0)
+        print(
+            f"  {label:22s}: 100%-read peak "
+            f"{read_curve.max_bandwidth_gbps:5.1f} GB/s, max latency "
+            f"{read_curve.max_latency_ns:5.0f} ns"
+        )
+    print(
+        "  -> the 2-entry-MSHR in-order cores cannot pressure the device "
+        "into its high-latency region (Section IV-C)"
+    )
+
+    print("\n== 3. CXL vs remote-socket emulation (Appendix B) ==")
+    cxl = cxl_expander_family()
+    remote = remote_socket_family()
+    for name in ("perlbench", "lbm"):
+        profile = next(p for p in SPEC_CPU2006 if p.name == name)
+        _, bandwidth = estimate_time_per_access(profile, cxl)
+        delta = performance_delta_pct(profile, cxl, remote)
+        direction = "faster" if delta > 0 else "slower"
+        print(
+            f"  {name:10s}: {bandwidth:5.1f} GB/s on CXL; remote socket is "
+            f"{abs(delta):4.1f}% {direction}"
+        )
+    print(
+        "  -> remote-socket emulation understates CXL for light workloads "
+        "and overstates it for bandwidth-bound ones"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim enabling offline `pip install -e .` (see pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""Mess: unified memory-system benchmarking, simulation and profiling.
+
+A from-scratch Python reproduction of "A Mess of Memory System
+Benchmarking, Simulation and Application Profiling" (MICRO 2024). The
+package exposes the framework's three legs plus every substrate they
+stand on:
+
+- :mod:`repro.bench` — the Mess benchmark (pointer-chase latency probe +
+  traffic generator) that characterizes a memory system into a family of
+  bandwidth-latency curves;
+- :mod:`repro.core` — the curve data structures, derived metrics, the
+  stress score and the Mess analytical memory simulator;
+- :mod:`repro.profiling` — application profiling on top of the curves
+  (sampling, stress timelines, Paraver traces);
+- :mod:`repro.cpu`, :mod:`repro.dram`, :mod:`repro.memmodels` — the
+  simulated substrate: an event-driven multicore, a cycle-level DRAM
+  controller, and the zoo of memory models the paper compares;
+- :mod:`repro.platforms` — calibrated curve families for every Table I
+  platform plus the CXL expander and remote-socket configurations;
+- :mod:`repro.workloads`, :mod:`repro.traces`, :mod:`repro.analysis`,
+  :mod:`repro.experiments` — evaluation workloads, trace-driven replay,
+  comparison tooling, and one module per paper table/figure.
+
+Quickstart::
+
+    from repro import MessBenchmark, MessMemorySimulator, SystemConfig
+    from repro.memmodels import CycleAccurateModel
+    from repro.dram import DDR4_2666
+
+    bench = MessBenchmark(
+        system_config=SystemConfig(cores=8),
+        memory_factory=lambda: CycleAccurateModel(DDR4_2666, channels=6),
+        name="my-platform",
+    )
+    family = bench.run()          # characterize
+    sim = MessMemorySimulator(family)   # simulate with the curves
+"""
+
+from .bench import MessBenchmark, MessBenchmarkConfig, characterize_model
+from .core import (
+    BandwidthLatencyCurve,
+    CurveBuilder,
+    CurveFamily,
+    MemorySystemMetrics,
+    MessMemorySimulator,
+    StressScorer,
+    compute_metrics,
+    default_scorer,
+)
+from .cpu import System, SystemConfig
+from .errors import (
+    BenchmarkError,
+    ConfigurationError,
+    CurveError,
+    MessError,
+    ProfilingError,
+    SimulationError,
+    TraceError,
+)
+from .profiling import MessProfile, sample_phase_profile, sample_system
+from .request import AccessType, MemoryRequest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "BandwidthLatencyCurve",
+    "BenchmarkError",
+    "ConfigurationError",
+    "CurveBuilder",
+    "CurveError",
+    "CurveFamily",
+    "MemoryRequest",
+    "MemorySystemMetrics",
+    "MessBenchmark",
+    "MessBenchmarkConfig",
+    "MessError",
+    "MessMemorySimulator",
+    "MessProfile",
+    "ProfilingError",
+    "SimulationError",
+    "StressScorer",
+    "System",
+    "SystemConfig",
+    "TraceError",
+    "characterize_model",
+    "compute_metrics",
+    "default_scorer",
+    "sample_phase_profile",
+    "sample_system",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Analysis helpers: curve comparison, accuracy campaigns, row buffers."""
+
+from .compare import FamilyComparison, compare_families
+from .error import AccuracyReport, WorkloadError, run_accuracy_campaign
+from .rowbuffer import RowBufferCensus, census_from_controller, census_sweep
+
+__all__ = [
+    "AccuracyReport",
+    "FamilyComparison",
+    "RowBufferCensus",
+    "WorkloadError",
+    "census_from_controller",
+    "census_sweep",
+    "compare_families",
+    "run_accuracy_campaign",
+]

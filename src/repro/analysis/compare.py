@@ -1,0 +1,93 @@
+"""Quantitative comparison of bandwidth-latency curve families.
+
+Used wherever the paper says a simulator "closely matches" (or doesn't)
+the actual system: the comparison grids one family's curves against a
+reference and reports latency errors in the shared bandwidth range plus
+the headline-metric deltas (unloaded latency, max latency, saturated
+bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.family import CurveFamily
+from ..core.metrics import compute_metrics
+from ..errors import CurveError
+
+
+@dataclass(frozen=True)
+class FamilyComparison:
+    """Errors of a simulated family relative to a reference family."""
+
+    reference_name: str
+    candidate_name: str
+    unloaded_latency_error_pct: float
+    max_latency_error_pct: float
+    saturated_bw_error_pct: float
+    mean_latency_error_pct: float
+    compared_points: int
+
+
+def compare_families(
+    reference: CurveFamily,
+    candidate: CurveFamily,
+    grid_points: int = 24,
+) -> FamilyComparison:
+    """Compare two families over their shared operating region.
+
+    Latency error is averaged over a bandwidth grid spanning each read
+    ratio's common achievable range; ratios present in only one family
+    are matched to the nearest curve of the other (the paper compares
+    six-curve simulations against denser hardware families the same
+    way).
+    """
+    if grid_points < 2:
+        raise CurveError("grid_points must be >= 2")
+    errors = []
+    compared = 0
+    for curve in candidate:
+        ratio = curve.read_ratio
+        reference_max = reference.max_bandwidth_at(ratio)
+        shared_max = min(curve.max_bandwidth_gbps, reference_max)
+        if shared_max <= 0:
+            continue
+        grid = np.linspace(0.0, shared_max, grid_points)
+        for bandwidth in grid:
+            actual = reference.latency_at(float(bandwidth), ratio)
+            simulated = candidate.latency_at(float(bandwidth), ratio)
+            errors.append(abs(simulated - actual) / actual)
+            compared += 1
+    if not compared:
+        raise CurveError(
+            f"no comparable operating points between {reference.name!r} "
+            f"and {candidate.name!r}"
+        )
+    reference_metrics = compute_metrics(reference)
+    candidate_metrics = compute_metrics(candidate)
+    return FamilyComparison(
+        reference_name=reference.name,
+        candidate_name=candidate.name,
+        unloaded_latency_error_pct=_pct(
+            candidate_metrics.unloaded_latency_ns,
+            reference_metrics.unloaded_latency_ns,
+        ),
+        max_latency_error_pct=_pct(
+            candidate_metrics.max_latency_max_ns,
+            reference_metrics.max_latency_max_ns,
+        ),
+        saturated_bw_error_pct=_pct(
+            candidate_metrics.max_measured_bandwidth_gbps,
+            reference_metrics.max_measured_bandwidth_gbps,
+        ),
+        mean_latency_error_pct=100.0 * float(np.mean(errors)),
+        compared_points=compared,
+    )
+
+
+def _pct(candidate: float, reference: float) -> float:
+    if reference == 0:
+        raise CurveError("reference metric is zero; error undefined")
+    return 100.0 * abs(candidate - reference) / abs(reference)

@@ -1,0 +1,87 @@
+"""Simulation-error accounting for workload runs (Figures 11 and 13).
+
+The paper's accuracy figures run STREAM, LMbench and Google multichase
+on the actual platform and on each (CPU simulator, memory model)
+combination, then report per-benchmark and average relative errors.
+These helpers run the same campaign on our substrate: the "actual"
+platform is a system wired to the cycle-level DRAM model, the
+candidates are systems wired to each model in the zoo.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cpu.system import System, SystemConfig
+from ..memmodels.base import MemoryModel
+from ..workloads.base import Workload, simulation_error_pct
+
+
+@dataclass(frozen=True)
+class WorkloadError:
+    """One (model, workload) accuracy measurement."""
+
+    model_name: str
+    workload_name: str
+    simulated: float
+    actual: float
+    error_pct: float
+
+
+@dataclass
+class AccuracyReport:
+    """Errors of one memory model across a workload suite."""
+
+    model_name: str
+    entries: list[WorkloadError] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def mean_error_pct(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e.error_pct for e in self.entries) / len(self.entries)
+
+
+def run_accuracy_campaign(
+    system_config: SystemConfig,
+    actual_factory: Callable[[], MemoryModel],
+    model_factories: dict[str, Callable[[], MemoryModel]],
+    workload_factories: list[Callable[[], Workload]],
+) -> tuple[dict[str, float], list[AccuracyReport]]:
+    """Measure every model's error on every workload.
+
+    Returns the actual-platform scores (per workload) and one
+    :class:`AccuracyReport` per candidate model, each including the
+    wall-clock time its runs took — the paper's speed comparison rides
+    on the same campaign.
+    """
+    actual_scores: dict[str, float] = {}
+    for make_workload in workload_factories:
+        workload = make_workload()
+        system = System(system_config, actual_factory())
+        actual_scores[workload.name] = workload.run(system)
+
+    reports = []
+    for model_name, make_model in model_factories.items():
+        report = AccuracyReport(model_name=model_name)
+        started = time.perf_counter()
+        for make_workload in workload_factories:
+            workload = make_workload()
+            system = System(system_config, make_model())
+            simulated = workload.run(system)
+            actual = actual_scores[workload.name]
+            report.entries.append(
+                WorkloadError(
+                    model_name=model_name,
+                    workload_name=workload.name,
+                    simulated=simulated,
+                    actual=actual,
+                    error_pct=simulation_error_pct(simulated, actual),
+                )
+            )
+        report.wall_time_s = time.perf_counter() - started
+        reports.append(report)
+    return actual_scores, reports

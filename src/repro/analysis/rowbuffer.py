@@ -1,0 +1,72 @@
+"""Row-buffer statistics comparison (Figure 7 methodology).
+
+The paper correlates simulators' row-buffer hit/empty/miss censuses with
+hardware-counter measurements across bandwidth levels and traffic mixes,
+exposing DRAMsim3's and Ramulator's distorted row-locality models. Here
+the "actual hardware" is the cycle-level controller; censuses are
+collected by replaying the same Mess-shaped trace at several pressures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.controller import DramController
+from ..dram.timing import DramTiming
+from ..traces.driver import replay_trace, synthesize_mess_trace
+from ..traces.format import TraceRecord
+
+
+@dataclass(frozen=True)
+class RowBufferCensus:
+    """One (traffic mix, pressure) row-buffer measurement."""
+
+    read_ratio: float
+    bandwidth_gbps: float
+    hit_rate: float
+    empty_rate: float
+    miss_rate: float
+
+
+def census_from_controller(
+    timing: DramTiming,
+    channels: int,
+    records: list[TraceRecord],
+    pressure: float,
+    read_ratio: float,
+    page_policy: str = "open",
+) -> RowBufferCensus:
+    """Replay a trace through a fresh controller; collect its census."""
+    from ..memmodels.cycle_accurate import CycleAccurateModel
+
+    model = CycleAccurateModel(timing, channels=channels, page_policy=page_policy)
+    result = replay_trace(model, records, pressure=pressure)
+    hit, empty, miss = model.row_buffer_stats().rates()
+    return RowBufferCensus(
+        read_ratio=read_ratio,
+        bandwidth_gbps=result.bandwidth_gbps,
+        hit_rate=hit,
+        empty_rate=empty,
+        miss_rate=miss,
+    )
+
+
+def census_sweep(
+    timing: DramTiming,
+    channels: int,
+    read_ratio: float,
+    pressures: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    ops: int = 8000,
+    base_gap_ns: float = 2.0,
+    streams: int = 24,
+) -> list[RowBufferCensus]:
+    """Row-buffer census across a bandwidth sweep for one traffic mix."""
+    records = synthesize_mess_trace(
+        ops=ops, read_ratio=read_ratio, gap_ns=base_gap_ns, streams=streams
+    )
+    return [
+        census_from_controller(
+            timing, channels, records, pressure, read_ratio
+        )
+        for pressure in pressures
+    ]

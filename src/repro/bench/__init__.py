@@ -1,0 +1,28 @@
+"""The Mess benchmark: latency probe, traffic generator, harnesses."""
+
+from .harness import MessBenchmark, MessBenchmarkConfig, PointResult
+from .model_probe import ProbeConfig, ProbePoint, characterize_model, probe_point
+from .pointer_chase import pointer_chase_ops
+from .traffic_gen import (
+    NS_PER_NOP,
+    TrafficGenConfig,
+    read_ratio_for_store_fraction,
+    store_fraction_for_read_ratio,
+    traffic_gen_ops,
+)
+
+__all__ = [
+    "MessBenchmark",
+    "MessBenchmarkConfig",
+    "NS_PER_NOP",
+    "PointResult",
+    "ProbeConfig",
+    "ProbePoint",
+    "TrafficGenConfig",
+    "characterize_model",
+    "pointer_chase_ops",
+    "probe_point",
+    "read_ratio_for_store_fraction",
+    "store_fraction_for_read_ratio",
+    "traffic_gen_ops",
+]

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the original artifact's runner scripts: list and run the paper's
+experiments, dump a platform's curves, or characterize a simulated
+memory system from scratch.
+
+Commands
+--------
+``list``
+    Show every registered experiment id with its title.
+``run <experiment> [--scale S] [--csv PATH]``
+    Run one experiment and print its table; optionally dump the rows.
+``curves <platform> [--csv PATH]``
+    Print (and optionally save) a preset platform's curve family.
+``characterize [--cores N] [--channels C] [--preset TIMING]``
+    Run the Mess benchmark against a fresh cycle-level memory system
+    and print the measured family and metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.harness import MessBenchmark, MessBenchmarkConfig
+from .core.metrics import compute_metrics
+from .cpu.system import SystemConfig
+from .dram.timing import PRESETS, preset
+from .errors import MessError
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .memmodels.cycle_accurate import CycleAccurateModel
+from .platforms.presets import (
+    TABLE_I_PLATFORMS,
+    cxl_expander_family,
+    family,
+    optane_family,
+    remote_socket_family,
+)
+
+_SPECIAL_FAMILIES = {
+    "cxl": cxl_expander_family,
+    "optane": optane_family,
+    "remote-socket": remote_socket_family,
+}
+
+
+def _platform_families() -> dict:
+    families = {
+        spec.name.lower().replace(" ", "-"): (lambda s=spec: family(s))
+        for spec in TABLE_I_PLATFORMS
+    }
+    families.update(_SPECIAL_FAMILIES)
+    return families
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment_id, runner in EXPERIMENTS.items():
+        doc = (runner.__module__ or "").split(".")[-1]
+        print(f"{experiment_id:10s} ({doc})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, scale=args.scale)
+    print(result.format_table())
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"rows written to {args.csv}")
+    return 0
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    families = _platform_families()
+    if args.platform not in families:
+        print(
+            f"unknown platform {args.platform!r}; available:\n  "
+            + "\n  ".join(sorted(families)),
+            file=sys.stderr,
+        )
+        return 2
+    curves = families[args.platform]()
+    metrics = compute_metrics(curves)
+    print(f"{curves.name}")
+    for curve in curves:
+        points = " ".join(
+            f"({b:.1f},{l:.0f})"
+            for b, l in zip(curve.bandwidth_gbps, curve.latency_ns)
+        )
+        print(f"  r={curve.read_ratio:.2f}: {points}")
+    print(
+        f"unloaded {metrics.unloaded_latency_ns:.0f} ns, max latency "
+        f"{metrics.max_latency_min_ns:.0f}-{metrics.max_latency_max_ns:.0f} ns"
+    )
+    if args.csv:
+        curves.to_csv(args.csv)
+        print(f"curves written to {args.csv}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    timing = preset(args.preset)
+    bench = MessBenchmark(
+        system_config=SystemConfig(cores=args.cores),
+        memory_factory=lambda: CycleAccurateModel(
+            timing, channels=args.channels, write_queue_depth=48
+        ),
+        config=MessBenchmarkConfig(
+            store_fractions=(0.0, 0.5, 1.0),
+            nop_counts=(0, 150, 600, 3000),
+            warmup_ns=4000.0,
+            measure_ns=10_000.0,
+        ),
+        name=f"{timing.name}x{args.channels}",
+        theoretical_bandwidth_gbps=timing.channel_peak_gbps * args.channels,
+    )
+    curves = bench.run()
+    metrics = compute_metrics(curves)
+    for point in bench.points:
+        print(
+            f"  sf={point.store_fraction:.1f} nop={point.nop_count:5d}: "
+            f"{point.bandwidth_gbps:6.1f} GB/s @ {point.latency_ns:6.1f} ns "
+            f"(read ratio {point.measured_read_ratio:.2f})"
+        )
+    print(
+        f"unloaded {metrics.unloaded_latency_ns:.0f} ns; saturated "
+        f"{metrics.saturated_bw_min_pct:.0f}-{metrics.saturated_bw_max_pct:.0f}%"
+    )
+    if args.csv:
+        curves.to_csv(args.csv)
+        print(f"curves written to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mess reproduction: experiments, curves, characterization",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--csv", default=None)
+    run_parser.set_defaults(func=_cmd_run)
+
+    curves_parser = commands.add_parser(
+        "curves", help="print a preset platform's curve family"
+    )
+    curves_parser.add_argument("platform")
+    curves_parser.add_argument("--csv", default=None)
+    curves_parser.set_defaults(func=_cmd_curves)
+
+    char_parser = commands.add_parser(
+        "characterize", help="Mess-benchmark a simulated memory system"
+    )
+    char_parser.add_argument(
+        "--preset", default="DDR4-2666", choices=sorted(PRESETS)
+    )
+    char_parser.add_argument("--channels", type=int, default=3)
+    char_parser.add_argument("--cores", type=int, default=8)
+    char_parser.add_argument("--csv", default=None)
+    char_parser.set_defaults(func=_cmd_characterize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except MessError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

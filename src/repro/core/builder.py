@@ -1,0 +1,167 @@
+"""Constructing curve families from raw benchmark measurements.
+
+The Mess benchmark produces noisy measurement points: hardware-counter
+bandwidth readings and pointer-chase latencies, several repetitions per
+(read-ratio, pressure) configuration. The artifact's post-processing
+"removes the outliers, mitigates the noise and plots the results"
+(Appendix A); this module is that post-processing stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import BenchmarkError
+from .curve import BandwidthLatencyCurve
+from .family import CurveFamily
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """One raw benchmark observation.
+
+    ``pressure`` orders the points along a curve: it is any monotone
+    proxy of the traffic-generator issue rate (our harness uses the
+    negated nop count, so larger pressure means a busier generator).
+    """
+
+    read_ratio: float
+    pressure: float
+    bandwidth_gbps: float
+    latency_ns: float
+
+
+@dataclass
+class CurveBuilder:
+    """Accumulates measurements and assembles a clean curve family.
+
+    Parameters
+    ----------
+    name:
+        Name for the resulting family.
+    theoretical_bandwidth_gbps:
+        Peak theoretical bandwidth forwarded to the family.
+    outlier_mad_threshold:
+        Repetitions whose latency deviates from the per-configuration
+        median by more than this many median-absolute-deviations are
+        dropped before averaging. The artifact performs equivalent
+        outlier removal on the raw hardware-counter data.
+    smooth_window:
+        Odd window length for the median smoothing applied along each
+        curve; 1 disables smoothing.
+    """
+
+    name: str = "measured"
+    theoretical_bandwidth_gbps: float | None = None
+    outlier_mad_threshold: float = 3.5
+    smooth_window: int = 3
+    _points: list[MeasurementPoint] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.outlier_mad_threshold <= 0:
+            raise BenchmarkError("outlier threshold must be positive")
+        if self.smooth_window < 1 or self.smooth_window % 2 == 0:
+            raise BenchmarkError(
+                f"smooth_window must be an odd positive integer, got {self.smooth_window}"
+            )
+
+    def add(
+        self,
+        read_ratio: float,
+        pressure: float,
+        bandwidth_gbps: float,
+        latency_ns: float,
+    ) -> None:
+        """Record one raw observation."""
+        if bandwidth_gbps < 0 or latency_ns <= 0:
+            raise BenchmarkError(
+                f"invalid measurement: bw={bandwidth_gbps}, lat={latency_ns}"
+            )
+        self._points.append(
+            MeasurementPoint(read_ratio, pressure, bandwidth_gbps, latency_ns)
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def build(self) -> CurveFamily:
+        """Assemble the measurements into a :class:`CurveFamily`.
+
+        Pipeline per read ratio: group repetitions by pressure level,
+        drop latency outliers within each group, average the survivors,
+        order by pressure, then median-smooth both coordinates along the
+        curve.
+        """
+        if not self._points:
+            raise BenchmarkError("no measurements recorded")
+        by_ratio: dict[float, dict[float, list[MeasurementPoint]]] = {}
+        for point in self._points:
+            by_ratio.setdefault(point.read_ratio, {}).setdefault(
+                point.pressure, []
+            ).append(point)
+
+        curves = []
+        for ratio, by_pressure in by_ratio.items():
+            bw_series: list[float] = []
+            lat_series: list[float] = []
+            for pressure in sorted(by_pressure):
+                group = by_pressure[pressure]
+                bw, lat = self._aggregate(group)
+                bw_series.append(bw)
+                lat_series.append(lat)
+            bw_arr = _median_smooth(np.asarray(bw_series), self.smooth_window)
+            lat_arr = _median_smooth(np.asarray(lat_series), self.smooth_window)
+            curves.append(BandwidthLatencyCurve(ratio, bw_arr, lat_arr))
+        return CurveFamily(
+            curves,
+            name=self.name,
+            theoretical_bandwidth_gbps=self.theoretical_bandwidth_gbps,
+        )
+
+    def _aggregate(self, group: list[MeasurementPoint]) -> tuple[float, float]:
+        """Outlier-filtered mean of one configuration's repetitions."""
+        latencies = np.asarray([p.latency_ns for p in group])
+        bandwidths = np.asarray([p.bandwidth_gbps for p in group])
+        keep = _mad_mask(latencies, self.outlier_mad_threshold)
+        return float(np.mean(bandwidths[keep])), float(np.mean(latencies[keep]))
+
+
+def _mad_mask(values: np.ndarray, threshold: float) -> np.ndarray:
+    """Boolean mask of values within ``threshold`` scaled MADs of median.
+
+    Uses the standard 1.4826 consistency constant so the threshold is
+    comparable to standard deviations under Gaussian noise. With fewer
+    than three samples, or a degenerate (zero) MAD, everything is kept.
+    """
+    if values.size < 3:
+        return np.ones_like(values, dtype=bool)
+    median = np.median(values)
+    mad = np.median(np.abs(values - median)) * 1.4826
+    if mad == 0:
+        return np.ones_like(values, dtype=bool)
+    return np.abs(values - median) <= threshold * mad
+
+
+def _median_smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Running median, always over odd-length windows.
+
+    Edge windows shrink symmetrically (1, 3, 5, ... points) instead of
+    truncating on one side: a truncated even window would average the
+    two nearest values and drag the curve endpoints toward the interior,
+    distorting exactly the unloaded and saturated extremes the metrics
+    read off.
+    """
+    if window <= 1 or values.size <= 2:
+        return values
+    half = window // 2
+    out = np.empty_like(values)
+    for i in range(values.size):
+        reach = min(half, i, values.size - 1 - i)
+        out[i] = np.median(values[i - reach : i + reach + 1])
+    return out

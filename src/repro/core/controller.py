@@ -1,0 +1,70 @@
+"""Feedback controller used by the Mess analytical simulator.
+
+Section V-A models the latency-adjustment loop on the classical
+proportional-integral controller: each simulation window the estimated
+bandwidth moves a ``convergence_factor`` fraction of the distance toward
+the observed bandwidth, optionally accelerated by an integral term that
+accumulates persistent error. The paper's released simulator uses the
+proportional term only; the integral gain defaults to zero so the default
+behaviour matches the paper, while the ablation benchmarks can explore
+the full PI space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class PIController:
+    """Discrete proportional-integral tracker of a setpoint signal.
+
+    Parameters
+    ----------
+    convergence_factor:
+        Proportional gain in ``(0, 1]``: the fraction of the estimate's
+        error corrected per window (the paper's ``convFactor``).
+    integral_gain:
+        Gain applied to the accumulated error. Zero (default) reduces
+        the controller to the paper's update rule
+        ``messBW_{i+1} = messBW_i + convFactor * (cpuBW_i - messBW_i)``.
+    integral_limit:
+        Anti-windup clamp on the accumulated error magnitude.
+    """
+
+    convergence_factor: float = 0.5
+    integral_gain: float = 0.0
+    integral_limit: float = 1e6
+    _integral: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.convergence_factor <= 1.0:
+            raise ConfigurationError(
+                f"convergence_factor must be in (0, 1], got {self.convergence_factor}"
+            )
+        if self.integral_gain < 0:
+            raise ConfigurationError(
+                f"integral_gain must be non-negative, got {self.integral_gain}"
+            )
+        if self.integral_limit <= 0:
+            raise ConfigurationError(
+                f"integral_limit must be positive, got {self.integral_limit}"
+            )
+
+    def update(self, estimate: float, observed: float) -> float:
+        """Next estimate given the current estimate and the observation."""
+        error = observed - estimate
+        self._integral = max(
+            -self.integral_limit, min(self.integral_limit, self._integral + error)
+        )
+        return (
+            estimate
+            + self.convergence_factor * error
+            + self.integral_gain * self._integral
+        )
+
+    def reset(self) -> None:
+        """Clear the integral accumulator (e.g. at a phase change)."""
+        self._integral = 0.0

@@ -1,0 +1,289 @@
+"""A family of bandwidth-latency curves describing one memory system.
+
+The family is the central data structure of the Mess framework: the
+benchmark produces one, the simulator consumes one, and the profiler
+positions application samples on one. Each member curve corresponds to a
+read/write traffic composition; Figure 1 of the paper plots such a family
+with different shades of blue.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..errors import CurveError
+from .curve import BandwidthLatencyCurve
+
+
+class CurveFamily:
+    """An ordered collection of curves indexed by read ratio.
+
+    Parameters
+    ----------
+    curves:
+        The member curves; read ratios must be unique.
+    name:
+        Human-readable platform name (e.g. ``"Intel Skylake 6xDDR4-2666"``).
+    theoretical_bandwidth_gbps:
+        Peak theoretical bandwidth of the characterized memory system.
+        Used to express saturated-bandwidth metrics as percentages, as
+        Table I of the paper does. Optional; metrics that need it raise
+        :class:`~repro.errors.CurveError` when absent.
+    """
+
+    def __init__(
+        self,
+        curves: Iterable[BandwidthLatencyCurve],
+        name: str = "unnamed",
+        theoretical_bandwidth_gbps: float | None = None,
+    ) -> None:
+        members = sorted(curves, key=lambda c: c.read_ratio)
+        if not members:
+            raise CurveError("a curve family needs at least one curve")
+        ratios = [c.read_ratio for c in members]
+        if len(set(ratios)) != len(ratios):
+            raise CurveError(f"duplicate read ratios in family: {ratios}")
+        if theoretical_bandwidth_gbps is not None and theoretical_bandwidth_gbps <= 0:
+            raise CurveError(
+                "theoretical bandwidth must be positive, got "
+                f"{theoretical_bandwidth_gbps}"
+            )
+        self._curves: dict[float, BandwidthLatencyCurve] = {
+            c.read_ratio: c for c in members
+        }
+        self._ratios = np.asarray(ratios)
+        self.name = name
+        self.theoretical_bandwidth_gbps = theoretical_bandwidth_gbps
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._curves)
+
+    def __iter__(self) -> Iterator[BandwidthLatencyCurve]:
+        return iter(self._curves.values())
+
+    def __contains__(self, read_ratio: float) -> bool:
+        return float(read_ratio) in self._curves
+
+    def __getitem__(self, read_ratio: float) -> BandwidthLatencyCurve:
+        try:
+            return self._curves[float(read_ratio)]
+        except KeyError:
+            raise CurveError(
+                f"no curve for read ratio {read_ratio}; "
+                f"available: {sorted(self._curves)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"CurveFamily({self.name!r}, curves={len(self)}, "
+            f"ratios={self.read_ratios[0]:.2f}..{self.read_ratios[-1]:.2f})"
+        )
+
+    @property
+    def read_ratios(self) -> list[float]:
+        """Sorted read ratios of the member curves."""
+        return [float(r) for r in self._ratios]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def nearest(self, read_ratio: float) -> BandwidthLatencyCurve:
+        """The member curve whose read ratio is closest to the request."""
+        if not 0.0 <= read_ratio <= 1.0:
+            raise CurveError(f"read_ratio must be in [0, 1], got {read_ratio}")
+        idx = int(np.argmin(np.abs(self._ratios - read_ratio)))
+        return self._curves[float(self._ratios[idx])]
+
+    def _bracketing(
+        self, read_ratio: float
+    ) -> tuple[BandwidthLatencyCurve, BandwidthLatencyCurve, float]:
+        """Curves straddling ``read_ratio`` plus the interpolation weight."""
+        ratios = self._ratios
+        if read_ratio <= ratios[0]:
+            curve = self._curves[float(ratios[0])]
+            return curve, curve, 0.0
+        if read_ratio >= ratios[-1]:
+            curve = self._curves[float(ratios[-1])]
+            return curve, curve, 0.0
+        hi = int(np.searchsorted(ratios, read_ratio))
+        lo = hi - 1
+        r0, r1 = float(ratios[lo]), float(ratios[hi])
+        weight = (read_ratio - r0) / (r1 - r0)
+        return self._curves[r0], self._curves[r1], weight
+
+    def latency_at(
+        self, bandwidth_gbps: float, read_ratio: float, interpolate: bool = True
+    ) -> float:
+        """Load-to-use latency at an operating point.
+
+        With ``interpolate`` (default), latency is blended linearly
+        between the two curves bracketing ``read_ratio``; otherwise the
+        nearest curve answers alone. Requests outside the family's ratio
+        range clamp to the boundary curve.
+        """
+        if not 0.0 <= read_ratio <= 1.0:
+            raise CurveError(f"read_ratio must be in [0, 1], got {read_ratio}")
+        if not interpolate:
+            return self.nearest(read_ratio).latency_at(bandwidth_gbps)
+        lo, hi, w = self._bracketing(read_ratio)
+        if w == 0.0:
+            return lo.latency_at(bandwidth_gbps)
+        return (1.0 - w) * lo.latency_at(bandwidth_gbps) + w * hi.latency_at(
+            bandwidth_gbps
+        )
+
+    def max_bandwidth_at(self, read_ratio: float) -> float:
+        """Maximum achieved bandwidth for a traffic composition."""
+        lo, hi, w = self._bracketing(read_ratio)
+        return (1.0 - w) * lo.max_bandwidth_gbps + w * hi.max_bandwidth_gbps
+
+    def inclination_at(self, bandwidth_gbps: float, read_ratio: float) -> float:
+        """Interpolated curve slope (ns per GB/s) at an operating point."""
+        lo, hi, w = self._bracketing(read_ratio)
+        if w == 0.0:
+            return lo.inclination_at(bandwidth_gbps)
+        return (1.0 - w) * lo.inclination_at(bandwidth_gbps) + w * hi.inclination_at(
+            bandwidth_gbps
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate properties
+    # ------------------------------------------------------------------
+
+    @property
+    def unloaded_latency_ns(self) -> float:
+        """The platform's unloaded latency: minimum over all curves."""
+        return min(c.unloaded_latency_ns for c in self)
+
+    @property
+    def max_bandwidth_gbps(self) -> float:
+        """Best bandwidth achieved by any traffic composition."""
+        return max(c.max_bandwidth_gbps for c in self)
+
+    def scaled_bandwidth(self, factor: float, name: str | None = None) -> "CurveFamily":
+        """A copy with every bandwidth multiplied by ``factor``.
+
+        The paper's gem5 methodology simulates one memory channel (for
+        tractable run times) and scales the resulting curves to the full
+        channel count (Section V-B2); this is that scaling operation.
+        Latencies are untouched.
+        """
+        if factor <= 0:
+            raise CurveError(f"scale factor must be positive, got {factor}")
+        scaled = [
+            BandwidthLatencyCurve(
+                c.read_ratio, c.bandwidth_gbps * factor, c.latency_ns
+            )
+            for c in self
+        ]
+        theoretical = (
+            self.theoretical_bandwidth_gbps * factor
+            if self.theoretical_bandwidth_gbps
+            else None
+        )
+        return CurveFamily(
+            scaled,
+            name=name or f"{self.name} (x{factor:g} bandwidth)",
+            theoretical_bandwidth_gbps=theoretical,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write every point as ``read_ratio,bandwidth_gbps,latency_ns``.
+
+        This matches the artifact's ``results.csv`` layout so the output
+        can be compared the same way the paper's artifact is validated.
+        """
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["read_ratio", "bandwidth_gbps", "latency_ns"])
+            for curve in self:
+                writer.writerows(curve.to_rows())
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str | Path,
+        name: str = "unnamed",
+        theoretical_bandwidth_gbps: float | None = None,
+    ) -> "CurveFamily":
+        """Read a family from the CSV layout produced by :meth:`to_csv`."""
+        path = Path(path)
+        groups: dict[float, list[tuple[float, float]]] = {}
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            required = {"read_ratio", "bandwidth_gbps", "latency_ns"}
+            if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+                raise CurveError(
+                    f"{path} is missing columns; expected {sorted(required)}"
+                )
+            for row in reader:
+                ratio = float(row["read_ratio"])
+                groups.setdefault(ratio, []).append(
+                    (float(row["bandwidth_gbps"]), float(row["latency_ns"]))
+                )
+        if not groups:
+            raise CurveError(f"{path} contains no data rows")
+        curves = [
+            BandwidthLatencyCurve.from_points(ratio, points)
+            for ratio, points in groups.items()
+        ]
+        return cls(curves, name=name, theoretical_bandwidth_gbps=theoretical_bandwidth_gbps)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the family."""
+        return {
+            "name": self.name,
+            "theoretical_bandwidth_gbps": self.theoretical_bandwidth_gbps,
+            "curves": [
+                {
+                    "read_ratio": c.read_ratio,
+                    "bandwidth_gbps": c.bandwidth_gbps.tolist(),
+                    "latency_ns": c.latency_ns.tolist(),
+                }
+                for c in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CurveFamily":
+        """Rebuild a family from :meth:`to_dict` output."""
+        try:
+            curves = [
+                BandwidthLatencyCurve(
+                    entry["read_ratio"],
+                    entry["bandwidth_gbps"],
+                    entry["latency_ns"],
+                )
+                for entry in payload["curves"]
+            ]
+            return cls(
+                curves,
+                name=payload.get("name", "unnamed"),
+                theoretical_bandwidth_gbps=payload.get("theoretical_bandwidth_gbps"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CurveError(f"malformed curve-family payload: {exc}") from exc
+
+    def to_json(self, path: str | Path) -> None:
+        """Write the family as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "CurveFamily":
+        """Read a family written by :meth:`to_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,99 @@
+"""Derived memory-system performance metrics.
+
+Section II-C of the paper distills a curve family into a handful of
+quantitative metrics used throughout Table I: unloaded latency, the
+maximum-latency range across traffic compositions, and the
+saturated-bandwidth range. This module computes them, plus the waveform
+anomaly census from Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CurveError
+from .family import CurveFamily
+
+#: Latency multiple over the unloaded latency that marks the start of the
+#: saturated-bandwidth area (Section II-C: "the memory access latency
+#: doubles the unloaded latency").
+SATURATION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class MemorySystemMetrics:
+    """Quantitative summary of one memory system, as in Table I.
+
+    Attributes
+    ----------
+    name:
+        Platform name copied from the curve family.
+    unloaded_latency_ns:
+        Latency of the unloaded memory system.
+    max_latency_min_ns / max_latency_max_ns:
+        The maximum-latency *range*: the smallest and largest maximum
+        latency over all read/write compositions.
+    saturated_bw_min_gbps / saturated_bw_max_gbps:
+        The saturated-bandwidth range: the smallest and largest
+        saturation-onset bandwidth over all compositions.
+    theoretical_bandwidth_gbps:
+        Peak theoretical bandwidth, if known.
+    max_measured_bandwidth_gbps:
+        Best bandwidth achieved by any composition.
+    waveform_curves:
+        Number of member curves exhibiting the bandwidth-decline anomaly.
+    """
+
+    name: str
+    unloaded_latency_ns: float
+    max_latency_min_ns: float
+    max_latency_max_ns: float
+    saturated_bw_min_gbps: float
+    saturated_bw_max_gbps: float
+    theoretical_bandwidth_gbps: float | None
+    max_measured_bandwidth_gbps: float
+    waveform_curves: int
+
+    @property
+    def saturated_bw_min_pct(self) -> float:
+        """Saturation-onset bandwidth floor as % of theoretical peak."""
+        return 100.0 * self.saturated_bw_min_gbps / self._theoretical()
+
+    @property
+    def saturated_bw_max_pct(self) -> float:
+        """Best achieved bandwidth as % of theoretical peak."""
+        return 100.0 * self.saturated_bw_max_gbps / self._theoretical()
+
+    def _theoretical(self) -> float:
+        if not self.theoretical_bandwidth_gbps:
+            raise CurveError(
+                f"{self.name}: theoretical bandwidth unknown; "
+                "percentage metrics unavailable"
+            )
+        return self.theoretical_bandwidth_gbps
+
+
+def compute_metrics(
+    family: CurveFamily, saturation_factor: float = SATURATION_FACTOR
+) -> MemorySystemMetrics:
+    """Compute the Table I metric set for one curve family.
+
+    The saturated-bandwidth range follows the paper's convention: its
+    lower bound is the earliest saturation onset over all compositions
+    (writes saturate first on DDR systems) and its upper bound is the
+    highest bandwidth any composition achieves (100%-read on DDR).
+    """
+    max_latencies = [c.max_latency_ns for c in family]
+    saturation_onsets = [c.saturation_bandwidth_gbps(saturation_factor) for c in family]
+    peak_bandwidths = [c.max_bandwidth_gbps for c in family]
+    return MemorySystemMetrics(
+        name=family.name,
+        unloaded_latency_ns=family.unloaded_latency_ns,
+        max_latency_min_ns=min(max_latencies),
+        max_latency_max_ns=max(max_latencies),
+        saturated_bw_min_gbps=min(saturation_onsets),
+        saturated_bw_max_gbps=max(peak_bandwidths),
+        theoretical_bandwidth_gbps=family.theoretical_bandwidth_gbps,
+        max_measured_bandwidth_gbps=max(peak_bandwidths),
+        waveform_curves=sum(1 for c in family if c.has_waveform()),
+    )

@@ -1,0 +1,232 @@
+"""The Mess analytical memory simulator (Section V).
+
+Instead of simulating DRAM devices, the Mess simulator positions the
+running application on the platform's measured bandwidth-latency curves
+and serves every request of a *simulation window* with the latency of
+that position. At each window boundary (1000 memory operations in the
+paper) it compares the bandwidth the CPU actually generated
+(``cpuBW_i``) against the position it had assumed (``messBW_i``); a
+mismatch means the assumed latency was inconsistent with the generated
+traffic, so the position is nudged toward the observation by a
+proportional(-integral) controller and the latency for the next window
+is re-read from the curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..memmodels.base import MemoryModel, MemoryRequest
+from ..memmodels.queueing import SingleServerQueue
+from ..units import CACHE_LINE_BYTES
+from .controller import PIController
+from .family import CurveFamily
+
+#: Simulation-window length used throughout the paper's evaluation.
+DEFAULT_WINDOW_OPS = 1000
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """Telemetry of one completed control-loop iteration."""
+
+    index: int
+    start_ns: float
+    end_ns: float
+    cpu_bandwidth_gbps: float
+    mess_bandwidth_gbps: float
+    read_ratio: float
+    latency_ns: float
+
+
+class MessMemorySimulator(MemoryModel):
+    """Curve-driven analytical memory model with feedback control.
+
+    Parameters
+    ----------
+    family:
+        Bandwidth-latency curves of the target memory system, measured
+        by the Mess benchmark or supplied by a manufacturer.
+    window_ops:
+        Memory operations per simulation window.
+    convergence_factor:
+        Proportional gain of the controller (paper's ``convFactor``).
+    cpu_overhead_ns:
+        The curves record *load-to-use* latency, which includes time
+        spent in the CPU cores, caches and NoC. The CPU simulator
+        already models that time, so it is subtracted before the latency
+        is handed back (Section V-A's
+        ``Latency^Memory = Latency^LoadToUse - Latency^CPU``).
+    min_latency_ns:
+        Floor on the returned memory latency; guards against an
+        overhead larger than the curve latency.
+    integral_gain:
+        Optional integral term for the controller (0 matches the paper).
+    keep_history:
+        Record a :class:`WindowRecord` per window for analysis.
+    """
+
+    def __init__(
+        self,
+        family: CurveFamily,
+        window_ops: int = DEFAULT_WINDOW_OPS,
+        convergence_factor: float = 0.5,
+        cpu_overhead_ns: float = 0.0,
+        min_latency_ns: float = 2.0,
+        integral_gain: float = 0.0,
+        keep_history: bool = False,
+    ) -> None:
+        super().__init__()
+        if window_ops < 1:
+            raise ConfigurationError(f"window_ops must be >= 1, got {window_ops}")
+        if cpu_overhead_ns < 0:
+            raise ConfigurationError(
+                f"cpu_overhead_ns must be non-negative, got {cpu_overhead_ns}"
+            )
+        if min_latency_ns <= 0:
+            raise ConfigurationError(
+                f"min_latency_ns must be positive, got {min_latency_ns}"
+            )
+        self.family = family
+        self.window_ops = window_ops
+        self.cpu_overhead_ns = cpu_overhead_ns
+        self.min_latency_ns = min_latency_ns
+        self.keep_history = keep_history
+        self.controller = PIController(
+            convergence_factor=convergence_factor, integral_gain=integral_gain
+        )
+        self.history: list[WindowRecord] = []
+        self._window_index = 0
+        # Capacity pipe at the curves' maximum bandwidth. The latency
+        # feedback alone cannot bound requesters that do not wait for
+        # completions (hardware prefetchers, posted writes); the pipe
+        # makes the curve's peak bandwidth a hard limit, which it
+        # physically is. Below the peak the pipe's wait is negligible.
+        self._pipe = SingleServerQueue(
+            CACHE_LINE_BYTES / max(1e-9, family.max_bandwidth_gbps)
+        )
+        self._reset_position()
+
+    @property
+    def name(self) -> str:
+        return "mess"
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+
+    def _reset_position(self) -> None:
+        """Start (or restart) from the unloaded end of the curves.
+
+        The paper notes the simulation can start from any latency, e.g.
+        the unloaded one; convergence takes care of the rest.
+        """
+        self._mess_bw = 0.0
+        self._latency_ns = self._curve_latency(0.0, 1.0)
+        self._unloaded_ns = self._latency_ns
+        self._window_start_ns: float | None = None
+        self._window_end_ns = 0.0
+        self._window_bytes = 0
+        self._window_reads = 0
+        self._window_writes = 0
+        self._window_last_issue_ns = 0.0
+
+    def _curve_latency(self, bandwidth_gbps: float, read_ratio: float) -> float:
+        """Memory-side latency at a curve position (overhead removed)."""
+        load_to_use = self.family.latency_at(bandwidth_gbps, read_ratio)
+        return max(self.min_latency_ns, load_to_use - self.cpu_overhead_ns)
+
+    @property
+    def current_latency_ns(self) -> float:
+        """Latency currently applied to every incoming request."""
+        return self._latency_ns
+
+    @property
+    def current_position_gbps(self) -> float:
+        """The controller's current bandwidth estimate (``messBW_i``)."""
+        return self._mess_bw
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        if self._window_start_ns is None:
+            self._window_start_ns = request.issue_time_ns
+        if request.access_type.is_write:
+            self._window_writes += 1
+        else:
+            self._window_reads += 1
+        self._window_bytes += request.size_bytes
+        self._window_last_issue_ns = request.issue_time_ns
+        # The curve latency already embeds steady-state queueing at the
+        # estimated position; the capacity pipe embeds the *actual*
+        # instantaneous backlog. Taking the max avoids double-counting
+        # while making the curve's peak bandwidth a hard limit — which
+        # the latency feedback alone cannot guarantee against requesters
+        # that never wait (prefetchers, posted writes).
+        pipe_wait = self._pipe.admit(request.issue_time_ns)
+        latency = max(self._latency_ns, self._unloaded_ns + pipe_wait)
+        self._window_end_ns = max(
+            self._window_end_ns, request.issue_time_ns + latency
+        )
+        if self._window_reads + self._window_writes >= self.window_ops:
+            # window bandwidth is bytes over the issue span (wall time of
+            # the window), not over issue-to-completion: including the
+            # tail latency would systematically understate cpuBW
+            self._end_window(self._window_last_issue_ns)
+        return latency
+
+    def _end_window(self, now_ns: float) -> None:
+        """One iteration of the feedback loop (Figure 9)."""
+        assert self._window_start_ns is not None
+        elapsed = now_ns - self._window_start_ns
+        if elapsed <= 0:
+            # Degenerate window (all requests at one timestamp); keep the
+            # current position and start a fresh window.
+            self._window_start_ns = None
+            self._window_bytes = 0
+            self._window_reads = 0
+            self._window_writes = 0
+            return
+        cpu_bw = self._window_bytes / elapsed  # bytes/ns == GB/s
+        ops = self._window_reads + self._window_writes
+        read_ratio = self._window_reads / ops if ops else 1.0
+        self._mess_bw = max(0.0, self.controller.update(self._mess_bw, cpu_bw))
+        self._latency_ns = self._curve_latency(self._mess_bw, read_ratio)
+        # retune the capacity pipe to the current traffic composition
+        capacity = self.family.max_bandwidth_at(read_ratio)
+        self._pipe.service_ns = CACHE_LINE_BYTES / max(1e-9, capacity)
+        self._unloaded_ns = self._curve_latency(0.0, read_ratio)
+        if self.keep_history:
+            self.history.append(
+                WindowRecord(
+                    index=self._window_index,
+                    start_ns=self._window_start_ns,
+                    end_ns=now_ns,
+                    cpu_bandwidth_gbps=cpu_bw,
+                    mess_bandwidth_gbps=self._mess_bw,
+                    read_ratio=read_ratio,
+                    latency_ns=self._latency_ns,
+                )
+            )
+        self._window_index += 1
+        self._window_start_ns = None
+        self._window_bytes = 0
+        self._window_reads = 0
+        self._window_writes = 0
+
+    def notify_window(self, now_ns: float) -> None:
+        """Force a control iteration, e.g. at the end of a CPU quantum."""
+        if self._window_start_ns is not None and (
+            self._window_reads + self._window_writes
+        ):
+            self._end_window(max(self._window_last_issue_ns, now_ns))
+
+    def reset(self) -> None:
+        super().reset()
+        self.controller.reset()
+        self.history.clear()
+        self._window_index = 0
+        self._pipe.reset()
+        self._pipe.service_ns = CACHE_LINE_BYTES / max(
+            1e-9, self.family.max_bandwidth_gbps
+        )
+        self._reset_position()

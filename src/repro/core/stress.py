@@ -1,0 +1,119 @@
+"""Memory stress score (Section VI-B).
+
+Every application sample positioned on a curve family receives a score in
+``[0, 1]``: 0 for an unloaded memory system, 1 at the rightmost, steepest
+region of the curves. The paper defines it as a weighted sum of two
+signals: the memory latency itself (a direct proxy of system stress) and
+the local curve inclination (how violently latency would react to a small
+bandwidth change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProfilingError
+from .family import CurveFamily
+
+
+@dataclass(frozen=True)
+class StressScorer:
+    """Computes memory stress scores against one curve family.
+
+    Parameters
+    ----------
+    family:
+        Curve family of the platform the application runs on.
+    latency_weight / inclination_weight:
+        Relative weights of the two components; they are normalized to
+        sum to one at scoring time.
+    inclination_scale_ns_per_gbps:
+        Soft scale for normalizing the slope: a slope equal to the scale
+        maps to 0.5 on the inclination component. Chosen per family in
+        :func:`default_scorer` as the median slope near saturation.
+    """
+
+    family: CurveFamily
+    latency_weight: float = 0.5
+    inclination_weight: float = 0.5
+    inclination_scale_ns_per_gbps: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.latency_weight < 0 or self.inclination_weight < 0:
+            raise ProfilingError("stress-score weights must be non-negative")
+        if self.latency_weight + self.inclination_weight == 0:
+            raise ProfilingError("at least one stress-score weight must be positive")
+        if self.inclination_scale_ns_per_gbps <= 0:
+            raise ProfilingError("inclination scale must be positive")
+
+    def latency_component(self, bandwidth_gbps: float, read_ratio: float) -> float:
+        """Latency normalized between unloaded (0) and curve maximum (1)."""
+        curve = self.family.nearest(read_ratio)
+        lat = self.family.latency_at(bandwidth_gbps, read_ratio)
+        lo = curve.unloaded_latency_ns
+        hi = curve.max_latency_ns
+        if hi <= lo:
+            return 0.0
+        return float(np.clip((lat - lo) / (hi - lo), 0.0, 1.0))
+
+    def inclination_component(self, bandwidth_gbps: float, read_ratio: float) -> float:
+        """Curve slope squashed to [0, 1) with a soft scale.
+
+        ``slope / (slope + scale)`` maps a zero slope to 0 and grows
+        asymptotically to 1, so a near-vertical saturated region scores
+        close to 1 regardless of the platform's absolute latencies.
+        Beyond a curve's bandwidth peak the interpolated curve is a flat
+        plateau whose slope would read as zero; such samples sit in the
+        rightmost, most stressed region, so the slope is evaluated just
+        inside the peak instead.
+        """
+        curve = self.family.nearest(read_ratio)
+        probe_bw = min(bandwidth_gbps, 0.98 * curve.max_bandwidth_gbps)
+        slope = max(0.0, self.family.inclination_at(probe_bw, read_ratio))
+        return slope / (slope + self.inclination_scale_ns_per_gbps)
+
+    def score(self, bandwidth_gbps: float, read_ratio: float) -> float:
+        """Memory stress score in [0, 1] for one operating point."""
+        if bandwidth_gbps < 0:
+            raise ProfilingError(f"bandwidth must be non-negative, got {bandwidth_gbps}")
+        total = self.latency_weight + self.inclination_weight
+        value = (
+            self.latency_weight * self.latency_component(bandwidth_gbps, read_ratio)
+            + self.inclination_weight
+            * self.inclination_component(bandwidth_gbps, read_ratio)
+        ) / total
+        return float(np.clip(value, 0.0, 1.0))
+
+    def gradient_color(self, score: float) -> str:
+        """Paraver-style green-yellow-red gradient bucket for a score.
+
+        The Mess extension of Paraver renders stress with a traffic-light
+        gradient (Section VI-B1); this returns the bucket name used by
+        our timeline renderer.
+        """
+        if not 0.0 <= score <= 1.0:
+            raise ProfilingError(f"score must be in [0, 1], got {score}")
+        if score < 1.0 / 3.0:
+            return "green"
+        if score < 2.0 / 3.0:
+            return "yellow"
+        return "red"
+
+
+def default_scorer(family: CurveFamily) -> StressScorer:
+    """Build a scorer whose inclination scale suits ``family``.
+
+    The scale is set to the median slope measured at 75% of each curve's
+    peak bandwidth — deep enough into the knee that the component spreads
+    usefully across the loaded region, robust to individual noisy curves.
+    """
+    slopes = []
+    for curve in family:
+        probe_bw = 0.75 * curve.max_bandwidth_gbps
+        slopes.append(max(1e-3, curve.inclination_at(probe_bw)))
+    return StressScorer(
+        family=family,
+        inclination_scale_ns_per_gbps=float(np.median(slopes)),
+    )

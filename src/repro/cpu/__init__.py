@@ -1,0 +1,26 @@
+"""Event-driven CPU substrate: engine, caches, cores, system."""
+
+from .cache import AccessOutcome, Cache, CacheConfig, CacheStats, HierarchyConfig
+from .core import Core, CoreStats, Delay, MemOp, Operation
+from .engine import Engine
+from .hierarchy import HierarchyAccess, MemoryHierarchy
+from .system import System, SystemConfig, SystemResult
+
+__all__ = [
+    "AccessOutcome",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "Core",
+    "CoreStats",
+    "Delay",
+    "Engine",
+    "HierarchyAccess",
+    "HierarchyConfig",
+    "MemOp",
+    "MemoryHierarchy",
+    "Operation",
+    "System",
+    "SystemConfig",
+    "SystemResult",
+]

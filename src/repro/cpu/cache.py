@@ -1,0 +1,224 @@
+"""Set-associative cache with write-back, write-allocate semantics.
+
+The write-allocate policy is load-bearing for the whole paper: it is why
+a 100%-store kernel produces 50%-read/50%-write *memory* traffic
+(Section II-A), and why Mess measures higher bandwidth than STREAM
+(Section III). The model is functional (real tags, real LRU) so traffic
+ratios emerge from behaviour instead of being asserted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..units import CACHE_LINE_BYTES
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and writeback counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    clean_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one cache lookup.
+
+    ``writeback_address`` is the base address of a dirty line this
+    access evicted, if any; the hierarchy turns it into a memory WRITE.
+    ``clean_eviction_address`` reports evicted *clean* lines, normally
+    ignored — unless the OpenPiton coherency-bug fault injection is on
+    (Section IV-C), in which case they are (incorrectly) written back.
+    """
+
+    hit: bool
+    writeback_address: int | None = None
+    clean_eviction_address: int | None = None
+
+
+class Cache:
+    """One level of set-associative, write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    name:
+        Level label ("L1", "L2", "L3") used in stats and errors.
+    size_bytes / ways:
+        Geometry; the number of sets must come out a power-free integer
+        but need not be a power of two.
+    latency_ns:
+        Lookup latency contributed by this level to a hit, and to the
+        traversal on the way down on a miss.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int, latency_ns: float) -> None:
+        if size_bytes < CACHE_LINE_BYTES:
+            raise ConfigurationError(f"{name}: cache smaller than one line")
+        if ways < 1:
+            raise ConfigurationError(f"{name}: ways must be >= 1, got {ways}")
+        if latency_ns < 0:
+            raise ConfigurationError(f"{name}: latency must be non-negative")
+        lines = size_bytes // CACHE_LINE_BYTES
+        if lines % ways:
+            raise ConfigurationError(
+                f"{name}: {lines} lines not divisible into {ways} ways"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.latency_ns = latency_ns
+        self.num_sets = lines // ways
+        self.stats = CacheStats()
+        # set index -> OrderedDict[tag -> dirty]; order is LRU (oldest first)
+        self._sets: dict[int, OrderedDict[int, bool]] = {}
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        self._sets.clear()
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // CACHE_LINE_BYTES
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int, is_store: bool) -> AccessOutcome:
+        """Look up ``address``; allocate on miss (write-allocate).
+
+        Stores mark the line dirty. On an allocation that overflows the
+        set, the LRU line is evicted: dirty lines surface as a
+        writeback, clean ones as a clean eviction.
+        """
+        set_index, tag = self._locate(address)
+        lines = self._sets.setdefault(set_index, OrderedDict())
+        if tag in lines:
+            self.stats.hits += 1
+            lines.move_to_end(tag)
+            if is_store:
+                lines[tag] = True
+            return AccessOutcome(hit=True)
+        self.stats.misses += 1
+        writeback = None
+        clean_eviction = None
+        if len(lines) >= self.ways:
+            victim_tag, victim_dirty = lines.popitem(last=False)
+            victim_address = (
+                victim_tag * self.num_sets + set_index
+            ) * CACHE_LINE_BYTES
+            if victim_dirty:
+                self.stats.writebacks += 1
+                writeback = victim_address
+            else:
+                self.stats.clean_evictions += 1
+                clean_eviction = victim_address
+        lines[tag] = is_store
+        return AccessOutcome(
+            hit=False,
+            writeback_address=writeback,
+            clean_eviction_address=clean_eviction,
+        )
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no LRU touch)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets.get(set_index, ())
+
+    def install(self, address: int, dirty: bool) -> None:
+        """Silently install a line (warmup priming; no stats, no traffic).
+
+        Used to pre-establish cache steady state before a measurement
+        window, the simulation equivalent of the real benchmark's
+        discarded warmup iterations. Victims are dropped without
+        generating writebacks.
+        """
+        set_index, tag = self._locate(address)
+        lines = self._sets.setdefault(set_index, OrderedDict())
+        if tag in lines:
+            lines.move_to_end(tag)
+            lines[tag] = lines[tag] or dirty
+            return
+        if len(lines) >= self.ways:
+            lines.popitem(last=False)
+        lines[tag] = dirty
+
+    def fill_with_scratch(self, scratch_base: int, dirty_fraction: float) -> int:
+        """Fill the whole cache with scratch lines, a fraction dirty.
+
+        After this, future allocations immediately evict lines whose
+        dirty probability matches the steady state of a workload whose
+        allocations are ``dirty_fraction`` stores — so write-allocate
+        traffic shows its steady 1-read-1-write-per-store pattern from
+        the first access instead of after a full cache-fill period.
+        Returns the number of lines installed.
+        """
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ConfigurationError(
+                f"dirty_fraction must be in [0, 1], got {dirty_fraction}"
+            )
+        total_lines = self.num_sets * self.ways
+        dirty_acc = 0
+        for index in range(total_lines):
+            # Bresenham schedule: exact fraction over any prefix
+            target = round((index + 1) * dirty_fraction)
+            dirty = target > dirty_acc
+            if dirty:
+                dirty_acc += 1
+            self.install(scratch_base + index * CACHE_LINE_BYTES, dirty=dirty)
+        return total_lines
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry + latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency_ns: float
+
+    def build(self, name: str) -> Cache:
+        return Cache(name, self.size_bytes, self.ways, self.latency_ns)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Three-level cache hierarchy parameters plus the on-chip overhead.
+
+    ``noc_latency_ns`` is the round-trip network-on-chip + memory
+    controller time added to every LLC miss; together with the cache
+    latencies it forms the CPU-side component of the load-to-use latency
+    that Section III attributes to chip architecture rather than DRAM.
+    """
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 8, 1.5)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1024 * 1024, 16, 5.0)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(33 * 1024 * 1024, 11, 18.0)
+    )
+    noc_latency_ns: float = 45.0
+
+    @property
+    def total_hit_path_ns(self) -> float:
+        """CPU-side latency of an LLC miss excluding memory service."""
+        return (
+            self.l1.latency_ns
+            + self.l2.latency_ns
+            + self.l3.latency_ns
+            + self.noc_latency_ns
+        )

@@ -1,0 +1,177 @@
+"""Core model: issues a workload's memory operations into the hierarchy.
+
+A core executes an operation stream (an iterator of :class:`MemOp` /
+:class:`Delay`). Two knobs capture the microarchitectural behaviours the
+paper leans on:
+
+- ``mshrs`` bounds the number of outstanding misses. In-order Ariane
+  cores with 2-entry MSHRs cap OpenPiton's bandwidth (Section IV-C);
+  wide out-of-order server cores have 10-20+.
+- ``dependent`` operations serialize on their own completion, which is
+  exactly the pointer-chase structure (each load's address comes from
+  the previous load, Appendix A).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..errors import ConfigurationError, SimulationError
+from .engine import Engine
+from .hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One load or store instruction reaching the cache hierarchy.
+
+    ``non_temporal`` marks a streaming (non-temporal) store: it bypasses
+    the cache hierarchy and writes directly to memory, producing pure
+    write traffic instead of the write-allocate read+write pair (the
+    paper's footnote on x86 streaming stores).
+    """
+
+    address: int
+    is_store: bool = False
+    dependent: bool = False
+    non_temporal: bool = False
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Non-memory work: the core stalls ``ns`` nanoseconds.
+
+    The Mess traffic generator's nop loop (Appendix A, Listing 3)
+    becomes a ``Delay`` whose length scales with the nop count.
+    """
+
+    ns: float
+
+
+Operation = Union[MemOp, Delay]
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution counters."""
+
+    loads: int = 0
+    stores: int = 0
+    delays: int = 0
+    dependent_latency_sum_ns: float = 0.0
+    dependent_loads: int = 0
+    finish_time_ns: float | None = None
+    latencies_ns: list[float] = field(default_factory=list)
+
+    @property
+    def mean_dependent_latency_ns(self) -> float:
+        """Average latency of dependent loads — the pointer-chase metric."""
+        if not self.dependent_loads:
+            return 0.0
+        return self.dependent_latency_sum_ns / self.dependent_loads
+
+
+class Core:
+    """One core executing an operation stream on the event engine.
+
+    Parameters
+    ----------
+    index:
+        Core id; selects the private L1/L2 in the hierarchy.
+    engine / hierarchy:
+        Shared simulation infrastructure.
+    operations:
+        The instruction stream to execute.
+    issue_gap_ns:
+        Minimum time between issuing consecutive independent memory
+        operations (models issue width / frontend throughput).
+    mshrs:
+        Maximum outstanding memory operations.
+    record_latencies:
+        Keep every dependent-load latency (used by latency probes).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        engine: Engine,
+        hierarchy: MemoryHierarchy,
+        operations: Iterator[Operation],
+        issue_gap_ns: float = 0.3,
+        mshrs: int = 10,
+        record_latencies: bool = False,
+    ) -> None:
+        if issue_gap_ns < 0:
+            raise ConfigurationError(f"issue_gap_ns must be >= 0, got {issue_gap_ns}")
+        if mshrs < 1:
+            raise ConfigurationError(f"mshrs must be >= 1, got {mshrs}")
+        self.index = index
+        self.engine = engine
+        self.hierarchy = hierarchy
+        self.operations = operations
+        self.issue_gap_ns = issue_gap_ns
+        self.mshrs = mshrs
+        self.record_latencies = record_latencies
+        self.stats = CoreStats()
+        self.finished = False
+        self._inflight: list[float] = []  # completion-time heap
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the core's first step at the current time."""
+        if self._started:
+            raise SimulationError(f"core {self.index} already started")
+        self._started = True
+        self.engine.schedule(self.engine.now_ns, self._step)
+
+    # ------------------------------------------------------------------
+    # Execution loop
+    # ------------------------------------------------------------------
+
+    def _retire_completed(self, now_ns: float) -> None:
+        while self._inflight and self._inflight[0] <= now_ns:
+            heapq.heappop(self._inflight)
+
+    def _step(self) -> None:
+        now = self.engine.now_ns
+        self._retire_completed(now)
+        if len(self._inflight) >= self.mshrs:
+            # all MSHRs busy: wake when the earliest miss returns
+            self.engine.schedule(self._inflight[0], self._step)
+            return
+        try:
+            op = next(self.operations)
+        except StopIteration:
+            self.finished = True
+            self.stats.finish_time_ns = now
+            return
+        if isinstance(op, Delay):
+            self.stats.delays += 1
+            self.engine.schedule_after(op.ns, self._step)
+            return
+        self._issue(op, now)
+
+    def _issue(self, op: MemOp, now_ns: float) -> None:
+        access = self.hierarchy.access(
+            self.index,
+            op.address,
+            op.is_store,
+            now_ns,
+            non_temporal=op.non_temporal,
+        )
+        completion = now_ns + access.latency_ns
+        heapq.heappush(self._inflight, completion)
+        if op.is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        if op.dependent:
+            self.stats.dependent_loads += 1
+            self.stats.dependent_latency_sum_ns += access.latency_ns
+            if self.record_latencies:
+                self.stats.latencies_ns.append(access.latency_ns)
+            self.engine.schedule(completion, self._step)
+        else:
+            self.engine.schedule_after(self.issue_gap_ns, self._step)

@@ -1,0 +1,84 @@
+"""Minimal discrete-event simulation engine.
+
+The CPU substrate is event-driven: cores, caches and memory models never
+poll a clock; they schedule callbacks at absolute nanosecond timestamps.
+The engine is deliberately tiny — a monotone priority queue with a
+deterministic tiebreak — because determinism matters more than features:
+every experiment in the paper reproduction must be exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+class Engine:
+    """Discrete-event scheduler with deterministic FIFO tiebreaking."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, when_ns: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute time ``when_ns``.
+
+        Scheduling in the past is an error: it would silently reorder
+        causality and produce curves that depend on queue internals.
+        """
+        if when_ns < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule at {when_ns} ns; current time is {self._now} ns"
+            )
+        heapq.heappush(self._queue, (when_ns, next(self._counter), callback))
+
+    def schedule_after(self, delay_ns: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_ns}")
+        self.schedule(self._now + delay_ns, callback)
+
+    def run(self, until_ns: float | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue; returns the number of events executed.
+
+        Stops when the queue empties, when the next event would exceed
+        ``until_ns``, or after ``max_events`` events — whichever comes
+        first. ``until_ns`` still advances the clock to the stop time so
+        repeated bounded runs compose.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                when, _, callback = self._queue[0]
+                if until_ns is not None and when > until_ns:
+                    self._now = until_ns
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback()
+                executed += 1
+            else:
+                if until_ns is not None:
+                    self._now = max(self._now, until_ns)
+        finally:
+            self._running = False
+        return executed
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,257 @@
+"""Cache hierarchy wiring cores to the memory model.
+
+Private L1/L2 per core, shared L3, write-back write-allocate at every
+level. An LLC miss issues a cache-line READ to the memory model; dirty
+LLC evictions issue WRITEs. This is where a store instruction becomes
+one memory read plus (eventually) one memory write — the effect behind
+the paper's 100%-store = 50/50 traffic observation.
+
+The ``writeback_clean_lines`` flag reproduces the OpenPiton coherency
+bug the Mess benchmark uncovered (Section IV-C): the generated protocol
+evicted *all* LLC lines as if dirty, inflating write traffic. With the
+flag on, clean evictions also emit memory WRITEs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..memmodels.base import AccessType, MemoryModel, MemoryRequest
+from ..units import CACHE_LINE_BYTES
+from .cache import AccessOutcome, Cache, HierarchyConfig
+
+
+@dataclass(frozen=True)
+class HierarchyAccess:
+    """Timing outcome of one core memory instruction."""
+
+    latency_ns: float
+    level: str  # "L1" | "L2" | "L3" | "MEM"
+
+
+class MemoryHierarchy:
+    """Three-level hierarchy in front of a pluggable memory model.
+
+    Parameters
+    ----------
+    cores:
+        Number of cores (each gets private L1 and L2).
+    config:
+        Cache geometries and the NoC overhead.
+    memory:
+        Any :class:`~repro.memmodels.base.MemoryModel`.
+    writeback_clean_lines:
+        Fault injection for the OpenPiton coherency bug.
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        config: HierarchyConfig,
+        memory: MemoryModel,
+        writeback_clean_lines: bool = False,
+        prefetch_lines: int = 4,
+    ) -> None:
+        if cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {cores}")
+        if prefetch_lines < 0:
+            raise ConfigurationError(
+                f"prefetch_lines must be >= 0, got {prefetch_lines}"
+            )
+        self.config = config
+        self.memory = memory
+        self.writeback_clean_lines = writeback_clean_lines
+        self.prefetch_lines = prefetch_lines
+        self.l1 = [config.l1.build(f"L1.{i}") for i in range(cores)]
+        self.l2 = [config.l2.build(f"L2.{i}") for i in range(cores)]
+        self.l3 = config.l3.build("L3")
+        self._last_now = 0.0
+        # per-core recent demand-miss lines: a real stream prefetcher
+        # tracks several concurrent streams (a core interleaving loads
+        # from one array and stores to another has at least two)
+        self._miss_history: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(cores)
+        ]
+        self.prefetches_issued = 0
+        self.prefetches_throttled = 0
+        self._miss_latency_ewma = 0.0
+
+    #: Distinct streams the per-core prefetcher can track.
+    STREAM_TRACKER_ENTRIES = 16
+
+    def reset(self) -> None:
+        """Invalidate all caches; the memory model is reset separately."""
+        for cache in (*self.l1, *self.l2, self.l3):
+            cache.reset()
+
+    #: Address region used for priming scratch lines; far above any
+    #: workload array so tags never collide.
+    SCRATCH_BASE = 1 << 41
+
+    def prime_write_steady_state(self, dirty_fraction: float = 1.0) -> None:
+        """Fill the LLC with scratch lines at a steady-state dirty mix.
+
+        With a cold LLC, stores spend a full cache-fill period producing
+        no writebacks, under-reporting write traffic for the whole
+        window. Real benchmarks hide this behind long discarded warmup
+        runs; priming achieves the same steady state instantly.
+        ``dirty_fraction`` must match the store share of the workload's
+        line allocations, or early evictions would over- or under-
+        produce writes.
+        """
+        self.l3.fill_with_scratch(self.SCRATCH_BASE, dirty_fraction)
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    #: Core-visible latency of a non-temporal store (write-combining
+    #: buffer accept; the memory write itself is posted).
+    NON_TEMPORAL_ACCEPT_NS = 2.0
+
+    def access(
+        self,
+        core: int,
+        address: int,
+        is_store: bool,
+        now_ns: float,
+        non_temporal: bool = False,
+    ) -> HierarchyAccess:
+        """Serve one load or store from ``core`` at time ``now_ns``.
+
+        Returns the load-to-use latency and the level that supplied the
+        line. Misses traverse L1 -> L2 -> L3 -> memory, accumulating each
+        level's lookup latency; LLC evictions are forwarded to memory as
+        posted writes at the miss timestamp. Non-temporal stores skip
+        the hierarchy entirely: one posted memory WRITE, no allocation,
+        no read-for-ownership.
+        """
+        if address < 0:
+            raise ConfigurationError(f"address must be non-negative, got {address}")
+        self._last_now = now_ns
+        if non_temporal and is_store:
+            # the write is posted, but a full write path stalls the core
+            # (real streaming stores block on write-combining buffers),
+            # so the model's reported completion is honoured
+            write_latency = self.memory.access(
+                MemoryRequest(
+                    address=address,
+                    access_type=AccessType.WRITE,
+                    issue_time_ns=now_ns,
+                )
+            )
+            return HierarchyAccess(
+                latency_ns=max(self.NON_TEMPORAL_ACCEPT_NS, write_latency),
+                level="NT",
+            )
+        cfg = self.config
+        latency = cfg.l1.latency_ns
+        outcome = self.l1[core].access(address, is_store)
+        if outcome.hit:
+            return HierarchyAccess(latency_ns=latency, level="L1")
+        # L1 victims propagate to L2 (inclusive-ish simplification: the
+        # dirty line is installed in L2 rather than written to memory).
+        self._spill(self.l2[core], outcome)
+
+        latency += cfg.l2.latency_ns
+        outcome = self.l2[core].access(address, is_store)
+        if outcome.hit:
+            return HierarchyAccess(latency_ns=latency, level="L2")
+        self._spill(self.l3, outcome)
+
+        latency += cfg.l3.latency_ns
+        outcome = self.l3.access(address, is_store)
+        if outcome.hit:
+            return HierarchyAccess(latency_ns=latency, level="L3")
+        self._emit_evictions(outcome, now_ns)
+
+        # LLC miss: fetch the line from memory (a store becomes a
+        # read-for-ownership here; the write happens at eviction time).
+        memory_latency = self.memory.access(
+            MemoryRequest(
+                address=address, access_type=AccessType.READ, issue_time_ns=now_ns
+            )
+        )
+        self._miss_latency_ewma += 0.05 * (memory_latency - self._miss_latency_ewma)
+        self._maybe_prefetch(core, address, now_ns)
+        latency += cfg.noc_latency_ns + memory_latency
+        return HierarchyAccess(latency_ns=latency, level="MEM")
+
+    #: Demand-miss latency (ns) above which the stream prefetcher backs
+    #: off — real prefetchers throttle when the memory system is
+    #: congested rather than inflating the queue backlog further.
+    PREFETCH_THROTTLE_NS = 600.0
+
+    def _maybe_prefetch(self, core: int, address: int, now_ns: float) -> None:
+        """Stream prefetcher: fetch ahead on sequential demand misses.
+
+        Every server CPU in the paper's Table I ships hardware stream
+        prefetchers; without them, tens of interleaved single-line
+        streams shred DRAM row locality in a way no real platform
+        exhibits. Detection is the classic next-line heuristic: a miss
+        one line after the core's previous miss opens a streak, and the
+        next ``prefetch_lines`` lines are fetched back-to-back (a burst
+        the memory controller can service from one open row) and
+        installed into the LLC. Random patterns — the pointer chase —
+        never trigger it.
+        """
+        line = address // CACHE_LINE_BYTES
+        history = self._miss_history[core]
+        streak = (line - 1) in history
+        history[line] = None
+        history.move_to_end(line)
+        while len(history) > self.STREAM_TRACKER_ENTRIES:
+            history.popitem(last=False)
+        if self.prefetch_lines == 0 or not streak:
+            return
+        if self._miss_latency_ewma > self.PREFETCH_THROTTLE_NS:
+            self.prefetches_throttled += 1
+            return
+        for ahead in range(1, self.prefetch_lines + 1):
+            prefetch_address = address + ahead * CACHE_LINE_BYTES
+            if self.l3.contains(prefetch_address):
+                continue
+            self.memory.access(
+                MemoryRequest(
+                    address=prefetch_address,
+                    access_type=AccessType.READ,
+                    issue_time_ns=now_ns,
+                )
+            )
+            # allocate through the normal path so displaced dirty lines
+            # still produce their writebacks
+            spilled = self.l3.access(prefetch_address, is_store=False)
+            self._emit_evictions(spilled, now_ns)
+            self.prefetches_issued += 1
+
+    def _spill(self, lower: Cache, outcome: AccessOutcome) -> None:
+        """Install an upper-level dirty victim into the next level down."""
+        if outcome.writeback_address is not None:
+            spilled = lower.access(outcome.writeback_address, is_store=True)
+            if lower is self.l3:
+                self._emit_evictions(spilled, now_ns=None)
+
+    def _emit_evictions(self, outcome: AccessOutcome, now_ns: float | None) -> None:
+        """Turn LLC evictions into memory writes (posted)."""
+        when = now_ns if now_ns is not None else self._last_now
+        if outcome.writeback_address is not None:
+            self.memory.access(
+                MemoryRequest(
+                    address=outcome.writeback_address,
+                    access_type=AccessType.WRITE,
+                    issue_time_ns=when,
+                )
+            )
+        if (
+            self.writeback_clean_lines
+            and outcome.clean_eviction_address is not None
+        ):
+            self.memory.access(
+                MemoryRequest(
+                    address=outcome.clean_eviction_address,
+                    access_type=AccessType.WRITE,
+                    issue_time_ns=when,
+                )
+            )

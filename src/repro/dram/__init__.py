@@ -1,0 +1,38 @@
+"""Cycle-level DRAM substrate: timings, address mapping, controller."""
+
+from .address import AddressMapper, DecodedAddress
+from .bank import BankState, RankState
+from .controller import DramController, ServiceResult
+from .stats import ControllerStats, RowBufferOutcome, RowBufferStats
+from .timing import (
+    DDR4_2666,
+    DDR4_3200,
+    DDR5_4800,
+    DDR5_5600,
+    HBM2,
+    HBM2E,
+    PRESETS,
+    DramTiming,
+    preset,
+)
+
+__all__ = [
+    "AddressMapper",
+    "BankState",
+    "ControllerStats",
+    "DDR4_2666",
+    "DDR4_3200",
+    "DDR5_4800",
+    "DDR5_5600",
+    "DecodedAddress",
+    "DramController",
+    "DramTiming",
+    "HBM2",
+    "HBM2E",
+    "PRESETS",
+    "RankState",
+    "RowBufferOutcome",
+    "RowBufferStats",
+    "ServiceResult",
+    "preset",
+]

@@ -1,0 +1,118 @@
+"""Physical address decomposition for the DRAM substrate.
+
+The mapper splits a physical byte address into (channel, rank, bank, row,
+column). The scheme is the bandwidth-friendly layout used by server
+memory controllers: channel bits immediately above the cache-line offset
+(so sequential streams stripe across channels), then bank bits (so
+consecutive rows of one stream land in different banks), then the row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import CACHE_LINE_BYTES
+from .timing import DramTiming
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """Coordinates of one cache line inside the memory system."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def bank_global(self) -> int:
+        """Bank index unique within the channel (rank-major)."""
+        return self.rank * _BANK_STRIDE + self.bank
+
+
+# Large stride so rank-major global bank ids never collide for any sane
+# bank count. Only used for dictionary keys, never for math.
+_BANK_STRIDE = 1 << 16
+
+
+class AddressMapper:
+    """Maps physical addresses to DRAM coordinates.
+
+    Parameters
+    ----------
+    timing:
+        Device geometry source (banks, ranks, row size).
+    channels:
+        Number of channels in the memory system.
+    interleave_bytes:
+        Granularity of channel interleaving; defaults to one cache line,
+        matching fine-grained server interleaving.
+    """
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        channels: int,
+        interleave_bytes: int = CACHE_LINE_BYTES,
+        bank_hash: bool = True,
+    ) -> None:
+        if channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {channels}")
+        if interleave_bytes < CACHE_LINE_BYTES:
+            raise ConfigurationError(
+                "interleave granularity must be at least one cache line"
+            )
+        if interleave_bytes % CACHE_LINE_BYTES:
+            raise ConfigurationError(
+                "interleave granularity must be a multiple of the line size"
+            )
+        self.timing = timing
+        self.channels = channels
+        self.interleave_bytes = interleave_bytes
+        self.bank_hash = bank_hash
+        self._lines_per_row = timing.row_bytes // CACHE_LINE_BYTES
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decompose a physical byte address.
+
+        Layout from least to most significant: line offset, channel,
+        column (within-row line index), bank, rank, row.
+        """
+        if address < 0:
+            raise ConfigurationError(f"address must be non-negative, got {address}")
+        unit = address // self.interleave_bytes
+        channel = unit % self.channels
+        line = unit // self.channels
+        # restore intra-interleave lines so columns advance within a row
+        line = line * (self.interleave_bytes // CACHE_LINE_BYTES) + (
+            address % self.interleave_bytes
+        ) // CACHE_LINE_BYTES
+        column = line % self._lines_per_row
+        rest = line // self._lines_per_row
+        bank = rest % self.timing.banks_per_rank
+        rest //= self.timing.banks_per_rank
+        rank = rest % self.timing.ranks
+        row = rest // self.timing.ranks
+        if self.bank_hash:
+            bank = self._hash_bank(bank, row)
+        return DecodedAddress(
+            channel=channel, rank=rank, bank=bank, row=row, column=column
+        )
+
+    def _hash_bank(self, bank: int, row: int) -> int:
+        """Permutation-based bank interleaving.
+
+        Server memory controllers XOR row bits into the bank index so
+        that power-of-two address strides (common across concurrent
+        application arrays) do not pile every stream onto the same bank.
+        All row digits (base ``banks_per_rank``) are folded in, so any
+        stride eventually decorrelates.
+        """
+        banks = self.timing.banks_per_rank
+        folded = row
+        while folded:
+            bank ^= folded % banks
+            folded //= banks
+        return bank % banks

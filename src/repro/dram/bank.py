@@ -1,0 +1,61 @@
+"""Per-bank and per-rank DRAM state tracked by the controller."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .stats import RowBufferOutcome
+from .timing import DramTiming
+
+
+@dataclass
+class BankState:
+    """Mutable timing state of one DRAM bank.
+
+    ``open_row`` is the row currently latched in the row buffer (``None``
+    when precharged). ``ready_at_ns`` is the earliest time the bank can
+    accept its next column or activate command; ``precharge_ok_ns``
+    enforces tRAS before the open row may be closed.
+    """
+
+    open_row: int | None = None
+    ready_at_ns: float = 0.0
+    precharge_ok_ns: float = 0.0
+
+    def classify(self, row: int) -> RowBufferOutcome:
+        """Row-buffer outcome if ``row`` were accessed now."""
+        if self.open_row is None:
+            return RowBufferOutcome.EMPTY
+        if self.open_row == row:
+            return RowBufferOutcome.HIT
+        return RowBufferOutcome.MISS
+
+    def row_delay_ns(self, outcome: RowBufferOutcome, timing: DramTiming) -> float:
+        """Extra command time before the column access can start."""
+        if outcome is RowBufferOutcome.HIT:
+            return 0.0
+        if outcome is RowBufferOutcome.EMPTY:
+            return timing.tRCD
+        return timing.tRP + timing.tRCD
+
+    def precharge_all(self) -> None:
+        """Close the open row (refresh or closed-page policy)."""
+        self.open_row = None
+
+
+@dataclass
+class RankState:
+    """Per-rank constraints: the four-activate window and refresh clock."""
+
+    activate_times_ns: deque[float] = field(default_factory=lambda: deque(maxlen=4))
+    next_refresh_ns: float = 0.0
+
+    def faw_earliest_ns(self, timing: DramTiming) -> float:
+        """Earliest time a new activate may issue under tFAW."""
+        if len(self.activate_times_ns) < 4:
+            return 0.0
+        return self.activate_times_ns[0] + timing.tFAW
+
+    def record_activate(self, when_ns: float) -> None:
+        self.activate_times_ns.append(when_ns)

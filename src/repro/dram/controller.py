@@ -1,0 +1,363 @@
+"""Cycle-level DRAM channel controller.
+
+This is the detailed end of our model zoo: banks with row buffers,
+activate/precharge timing, read/write bus turnarounds, the four-activate
+window, refresh, and a posted write queue. It plays two roles in the
+reproduction (Section 2 of DESIGN.md): as the "actual hardware" that the
+Mess benchmark characterizes, and as the cycle-accurate external
+simulator analog for the trace-driven experiments (Figures 6 and 7).
+
+The controller is arrival-ordered: requests are scheduled in the order
+they are submitted, each start time constrained by bank readiness, bus
+occupancy, turnarounds, tFAW and refresh. Queueing delay therefore
+emerges naturally from resource backlog rather than from an explicit
+queue model. The trace-driven frontend (:mod:`repro.traces.driver`) adds
+FR-FCFS reordering on top via :meth:`DramController.peek_outcome`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, SimulationError
+from ..request import AccessType, MemoryRequest
+from .address import AddressMapper
+from .bank import BankState, RankState
+from .stats import ControllerStats, RowBufferOutcome, RowBufferStats
+from .timing import DramTiming
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Scheduling outcome of one request."""
+
+    start_ns: float
+    completion_ns: float
+    outcome: RowBufferOutcome
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completion_ns - self.start_ns
+
+
+class _ChannelState:
+    """Mutable state of one channel: banks, ranks, data bus, write queue."""
+
+    __slots__ = (
+        "banks",
+        "ranks",
+        "bus_free_at_ns",
+        "last_was_write",
+        "last_data_end_ns",
+        "pending_writes",
+        "inflight_writes",
+    )
+
+    def __init__(self, timing: DramTiming, refresh_offset_ns: float) -> None:
+        self.banks = [
+            [BankState() for _ in range(timing.banks_per_rank)]
+            for _ in range(timing.ranks)
+        ]
+        self.ranks = [RankState() for _ in range(timing.ranks)]
+        for index, rank in enumerate(self.ranks):
+            rank.next_refresh_ns = refresh_offset_ns * (index + 1)
+        self.bus_free_at_ns = 0.0
+        self.last_was_write = False
+        self.last_data_end_ns = 0.0
+        # writes accepted but not yet issued to the device (drain-batched)
+        self.pending_writes: deque[MemoryRequest] = deque()
+        # device completion times of drained writes still occupying a
+        # buffer slot (nondecreasing across batches)
+        self.inflight_writes: deque[float] = deque()
+
+
+class DramController:
+    """Multi-channel DRAM memory controller.
+
+    Parameters
+    ----------
+    timing:
+        Device timing preset (see :mod:`repro.dram.timing`).
+    channels:
+        Number of independent channels; requests are routed by the
+        address mapper.
+    page_policy:
+        ``"open"`` keeps rows open after an access (row-buffer hits for
+        spatially local streams); ``"closed"`` auto-precharges, turning
+        every access into an EMPTY-state activate.
+    write_queue_depth:
+        Posted-write buffer entries per channel. Writes report a small
+        enqueue latency while the buffer has room; once full, the
+        requester observes the drain backlog.
+    interleave_bytes:
+        Channel interleave granularity (forwarded to the mapper).
+    """
+
+    #: Reported latency of a posted write that found buffer room.
+    WRITE_ACCEPT_NS = 2.0
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        channels: int = 1,
+        page_policy: str = "open",
+        write_queue_depth: int = 32,
+        interleave_bytes: int | None = None,
+    ) -> None:
+        if page_policy not in ("open", "closed"):
+            raise ConfigurationError(
+                f"page_policy must be 'open' or 'closed', got {page_policy!r}"
+            )
+        if write_queue_depth < 1:
+            raise ConfigurationError(
+                f"write_queue_depth must be >= 1, got {write_queue_depth}"
+            )
+        self.timing = timing
+        self.channels = channels
+        self.page_policy = page_policy
+        self.write_queue_depth = write_queue_depth
+        # standard drain watermarks: start draining at 3/4 full, stop at 1/4
+        self._drain_high = max(1, (3 * write_queue_depth) // 4)
+        self._drain_low = write_queue_depth // 4
+        mapper_kwargs = {}
+        if interleave_bytes is not None:
+            mapper_kwargs["interleave_bytes"] = interleave_bytes
+        self.mapper = AddressMapper(timing, channels, **mapper_kwargs)
+        self.stats = ControllerStats()
+        self._channels = [
+            _ChannelState(timing, timing.tREFI / timing.ranks)
+            for _ in range(channels)
+        ]
+        self._last_submit_ns = 0.0
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate theoretical bandwidth of all channels."""
+        return self.timing.channel_peak_gbps * self.channels
+
+    def reset(self) -> None:
+        """Return every bank, bus and queue to the power-on state."""
+        self.stats = ControllerStats()
+        self._channels = [
+            _ChannelState(self.timing, self.timing.tREFI / self.timing.ranks)
+            for _ in range(self.channels)
+        ]
+        self._last_submit_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def submit(self, request: MemoryRequest) -> ServiceResult:
+        """Schedule one request; returns its timing and row outcome.
+
+        Requests must be submitted in non-decreasing issue time: the
+        controller is arrival-ordered and cannot retroactively insert
+        work into the past.
+        """
+        now = request.issue_time_ns
+        if now < self._last_submit_ns - 1e-9:
+            raise SimulationError(
+                f"requests must arrive in time order: {now} after "
+                f"{self._last_submit_ns}"
+            )
+        self._last_submit_ns = max(self._last_submit_ns, now)
+        if request.access_type is AccessType.WRITE:
+            return self._submit_write(request)
+        return self._submit_read(request)
+
+    def _submit_read(self, request: MemoryRequest) -> ServiceResult:
+        result = self._schedule_device(request, is_write=False)
+        self.stats.reads += 1
+        return result
+
+    def _submit_write(self, request: MemoryRequest) -> ServiceResult:
+        """Posted, drain-batched write.
+
+        Writes are accepted into a per-channel buffer and issued to the
+        device in batches once the buffer crosses the high watermark —
+        the standard write-drain policy that amortizes the read/write
+        bus turnaround over a whole batch instead of paying it per
+        write. The requester only waits when the buffer is full.
+        """
+        channel = self._channels[self.mapper.decode(request.address).channel]
+        now = request.issue_time_ns
+        self.stats.writes += 1
+        # retire drained writes whose device work finished: their buffer
+        # slots are free again
+        while channel.inflight_writes and channel.inflight_writes[0] <= now:
+            channel.inflight_writes.popleft()
+        channel.pending_writes.append(request)
+        if len(channel.pending_writes) >= self._drain_high:
+            self._drain_writes(channel, now)
+        occupancy = len(channel.pending_writes) + len(channel.inflight_writes)
+        if occupancy > self.write_queue_depth and channel.inflight_writes:
+            # full buffer: the requester waits until the oldest drained
+            # write completes on the device and frees a slot
+            completion = channel.inflight_writes.popleft()
+            self.stats.write_stalls += 1
+        else:
+            completion = now + self.WRITE_ACCEPT_NS
+        return ServiceResult(
+            start_ns=now,
+            completion_ns=completion,
+            outcome=RowBufferOutcome.HIT,  # placeholder: device outcome
+            # is recorded when the batched write actually drains
+        )
+
+    def _drain_writes(self, channel: _ChannelState, now_ns: float) -> None:
+        """Issue buffered writes down to the low watermark.
+
+        Drained writes move to the in-flight set until their device work
+        completes; their buffer slots stay occupied meanwhile, which is
+        what ultimately backpressures a write-only requester. The batch
+        pays the read-to-write turnaround once, and is issued in
+        (bank, row) order — real controllers sort their write queue so a
+        drain streams through open rows instead of ping-ponging between
+        them.
+        """
+        count = max(0, len(channel.pending_writes) - self._drain_low)
+        if count == 0:
+            return
+        # row-grouped drain: order the *whole* pending queue by
+        # (rank, bank, row, column) and take the batch from the front,
+        # so writes sharing a row issue consecutively and each open-row
+        # cycle is amortized over the group — the write-queue row
+        # coalescing every server controller performs
+        ordered = sorted(
+            channel.pending_writes,
+            key=lambda req: (
+                (decoded := self.mapper.decode(req.address)).rank,
+                decoded.bank,
+                decoded.row,
+                decoded.column,
+            ),
+        )
+        batch, remainder = ordered[:count], ordered[count:]
+        channel.pending_writes.clear()
+        channel.pending_writes.extend(remainder)
+        for pending in batch:
+            drained = MemoryRequest(
+                address=pending.address,
+                access_type=pending.access_type,
+                issue_time_ns=now_ns,
+                size_bytes=pending.size_bytes,
+            )
+            result = self._schedule_device(drained, is_write=True)
+            channel.inflight_writes.append(result.completion_ns)
+        # completions within a row-sorted batch are not monotone; keep
+        # the in-flight set ordered so the oldest slot frees first
+        channel.inflight_writes = deque(sorted(channel.inflight_writes))
+
+    def _schedule_device(
+        self, request: MemoryRequest, is_write: bool
+    ) -> ServiceResult:
+        """Schedule the device-side work of one column access."""
+        timing = self.timing
+        decoded = self.mapper.decode(request.address)
+        channel = self._channels[decoded.channel]
+        rank = channel.ranks[decoded.rank]
+        bank = channel.banks[decoded.rank][decoded.bank]
+        now = request.issue_time_ns
+
+        self._apply_refresh(channel, decoded.rank, now)
+
+        earliest = max(now, bank.ready_at_ns)
+        direction_switch = is_write != channel.last_was_write
+        if is_write and direction_switch:
+            earliest = max(earliest, channel.last_data_end_ns + timing.tRTW)
+        elif not is_write and direction_switch:
+            earliest = max(earliest, channel.last_data_end_ns + timing.tWTR)
+
+        outcome = bank.classify(decoded.row)
+        needs_activate = outcome is not RowBufferOutcome.HIT
+        if needs_activate:
+            earliest = max(earliest, rank.faw_earliest_ns(timing))
+        if outcome is RowBufferOutcome.MISS:
+            earliest = max(earliest, bank.precharge_ok_ns)
+
+        row_delay = bank.row_delay_ns(outcome, timing)
+        column_latency = timing.tCWL if is_write else timing.tCL
+        column_cmd_at = earliest + row_delay
+        # The data bus is a capacity, not a FIFO pipeline: an access
+        # delayed by its bank's row cycle consumes one burst slot but
+        # does not head-of-line block bursts from other banks. The slot
+        # tracker accumulates tBURST of occupancy per access; the data
+        # appears at whichever is later, its CAS-ready time or its slot.
+        # Direction switches insert the real DDR bus dead time: the
+        # write-to-read gap spans the write's CAS latency, its burst and
+        # tWTR; read-to-write spans the CAS-latency difference plus the
+        # bus turnaround.
+        bus_slot = max(channel.bus_free_at_ns, now)
+        if direction_switch:
+            if is_write:
+                bus_slot += max(0.0, timing.tCL - timing.tCWL) + timing.tRTW
+            else:
+                bus_slot += timing.tCWL + timing.tBURST + timing.tWTR
+        channel.bus_free_at_ns = bus_slot + timing.tBURST
+        data_start = max(column_cmd_at + column_latency, bus_slot)
+        completion = data_start + timing.tBURST
+
+        if needs_activate:
+            activate_at = earliest + (
+                timing.tRP if outcome is RowBufferOutcome.MISS else 0.0
+            )
+            rank.record_activate(activate_at)
+            bank.precharge_ok_ns = activate_at + timing.tRAS
+        bank.open_row = decoded.row
+        # Column commands to the same bank pipeline at tCCD granularity
+        # (approximated by the burst time), not at full access latency.
+        bank.ready_at_ns = column_cmd_at + timing.tBURST
+        if is_write:
+            # Write recovery delays the next precharge, not the next column.
+            bank.precharge_ok_ns = max(bank.precharge_ok_ns, completion + timing.tWR)
+        if self.page_policy == "closed":
+            bank.open_row = None
+            bank.ready_at_ns = max(
+                bank.ready_at_ns, bank.precharge_ok_ns + timing.tRP
+            )
+        channel.last_was_write = is_write
+        channel.last_data_end_ns = completion
+
+        self.stats.row_buffer.record(outcome)
+        return ServiceResult(
+            start_ns=earliest, completion_ns=completion, outcome=outcome
+        )
+
+    def _apply_refresh(self, channel: _ChannelState, rank_idx: int, now_ns: float) -> None:
+        """Lazily apply any refreshes that became due on this rank."""
+        timing = self.timing
+        rank = channel.ranks[rank_idx]
+        while rank.next_refresh_ns <= now_ns:
+            refresh_start = rank.next_refresh_ns
+            for bank in channel.banks[rank_idx]:
+                bank.precharge_all()
+                bank.ready_at_ns = max(bank.ready_at_ns, refresh_start) + timing.tRFC
+            # while one rank refreshes, roughly its share of the bus
+            # capacity is lost in a backlogged system
+            channel.bus_free_at_ns = (
+                max(channel.bus_free_at_ns, refresh_start)
+                + timing.tRFC / timing.ranks
+            )
+            rank.next_refresh_ns += timing.tREFI
+            self.stats.refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Introspection for FR-FCFS frontends
+    # ------------------------------------------------------------------
+
+    def peek_outcome(self, address: int) -> RowBufferOutcome:
+        """Row-buffer outcome ``address`` would see right now.
+
+        Used by the trace-driven frontend to implement FR-FCFS: among
+        pending requests, those that would hit an open row are served
+        first.
+        """
+        decoded = self.mapper.decode(address)
+        bank = self._channels[decoded.channel].banks[decoded.rank][decoded.bank]
+        return bank.classify(decoded.row)
+
+    def row_buffer_stats(self) -> RowBufferStats:
+        """Aggregate row-buffer census since the last reset."""
+        return self.stats.row_buffer

@@ -1,0 +1,75 @@
+"""Row-buffer and controller statistics (Figure 7 methodology)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RowBufferOutcome(enum.Enum):
+    """Result of the row-buffer check for one column access.
+
+    ``HIT``: the target row was already open. ``EMPTY``: the bank had no
+    open row (a precharged bank, e.g. after refresh or under a
+    closed-page policy). ``MISS``: a different row was open and had to
+    be closed first. These are exactly the three classes the paper's
+    hardware counters and simulators report.
+    """
+
+    HIT = "hit"
+    EMPTY = "empty"
+    MISS = "miss"
+
+
+@dataclass
+class RowBufferStats:
+    """Hit / empty / miss census of a controller or one bank."""
+
+    hits: int = 0
+    empties: int = 0
+    misses: int = 0
+
+    def record(self, outcome: RowBufferOutcome) -> None:
+        if outcome is RowBufferOutcome.HIT:
+            self.hits += 1
+        elif outcome is RowBufferOutcome.EMPTY:
+            self.empties += 1
+        else:
+            self.misses += 1
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.empties + self.misses
+
+    def rates(self) -> tuple[float, float, float]:
+        """(hit, empty, miss) rates; (0, 0, 0) when no accesses."""
+        if not self.total:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.hits / self.total,
+            self.empties / self.total,
+            self.misses / self.total,
+        )
+
+    def merged_with(self, other: "RowBufferStats") -> "RowBufferStats":
+        """Sum of two censuses (e.g. across channels)."""
+        return RowBufferStats(
+            hits=self.hits + other.hits,
+            empties=self.empties + other.empties,
+            misses=self.misses + other.misses,
+        )
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller statistics across all channels."""
+
+    row_buffer: RowBufferStats = field(default_factory=RowBufferStats)
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    write_stalls: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes

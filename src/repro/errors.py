@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Mess reproduction.
+
+Every error raised by this package derives from :class:`MessError`, so
+callers can catch one base class at an API boundary. Subclasses are split
+by subsystem rather than by failure mode: the subsystem is what a caller
+can act on (fix a curve file, change a configuration, re-run a benchmark).
+"""
+
+from __future__ import annotations
+
+
+class MessError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class CurveError(MessError):
+    """A bandwidth-latency curve or curve family is malformed.
+
+    Raised when curve points are empty, non-finite, or out of the valid
+    domain (negative bandwidth, non-positive latency), and when a curve
+    family has no curve usable for a requested read ratio.
+    """
+
+
+class ConfigurationError(MessError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class SimulationError(MessError):
+    """An invariant was violated while a simulation was running."""
+
+
+class BenchmarkError(MessError):
+    """The Mess benchmark could not produce a valid characterization."""
+
+
+class TraceError(MessError):
+    """A memory or Paraver trace is malformed or cannot be parsed."""
+
+
+class ProfilingError(MessError):
+    """Application profiling received samples it cannot position."""

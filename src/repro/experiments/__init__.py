@@ -1,0 +1,12 @@
+"""One module per paper table/figure; see :mod:`repro.experiments.registry`."""
+
+from .base import ExperimentResult, scaled
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "experiment_ids",
+    "run_experiment",
+    "scaled",
+]

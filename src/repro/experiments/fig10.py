@@ -1,0 +1,85 @@
+"""Figure 10: ZSim + Mess simulator vs the actual memory system.
+
+The closed loop of the whole framework: the cycle-level substrate is
+characterized by the Mess benchmark ("actual hardware" curves); those
+curves feed a :class:`MessMemorySimulator`; the Mess benchmark then
+characterizes the *Mess-simulated* machine; the two families should
+coincide. Three memory technologies are exercised, as in the paper's
+DDR4 / DDR5 / HBM2 subfigures — with channel counts scaled down so a
+pure-Python run saturates them (the paper itself scales core counts up
+for the same reason in the opposite direction).
+"""
+
+from __future__ import annotations
+
+from ..analysis.compare import compare_families
+from ..bench.harness import MessBenchmark
+from ..core.simulator import MessMemorySimulator
+from ..dram.timing import DDR4_2666, DDR5_4800, HBM2
+from ..memmodels.cycle_accurate import CycleAccurateModel
+from .base import ExperimentResult
+from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config, measured_family
+
+EXPERIMENT_ID = "fig10"
+
+#: (label, timing, channels) per subfigure; channel counts sized so 24
+#: simulated cores can reach the saturated region.
+SUBFIGURES = (
+    ("ddr4", DDR4_2666, 6),
+    ("ddr5", DDR5_4800, 3),
+    ("hbm2", HBM2, 4),
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="ZSim-style system with the Mess simulator vs actual curves",
+        columns=[
+            "memory",
+            "system",
+            "read_ratio",
+            "bandwidth_gbps",
+            "latency_ns",
+        ],
+    )
+    overhead = BENCH_HIERARCHY.total_hit_path_ns
+    for label, timing, channels in SUBFIGURES:
+        actual = measured_family(
+            f"actual-{label}",
+            lambda t=timing, c=channels: CycleAccurateModel(
+                t, channels=c, write_queue_depth=48
+            ),
+            scale,
+            theoretical_bandwidth_gbps=timing.channel_peak_gbps * channels,
+        )
+        mess_bench = MessBenchmark(
+            system_config=bench_system_config(),
+            memory_factory=lambda fam=actual: MessMemorySimulator(
+                fam, cpu_overhead_ns=overhead
+            ),
+            config=bench_sweep(scale),
+            name=f"mess-{label}",
+            theoretical_bandwidth_gbps=actual.theoretical_bandwidth_gbps,
+        )
+        simulated = mess_bench.run()
+        for system, family in (("actual", actual), ("zsim+mess", simulated)):
+            for curve in family:
+                for bandwidth, latency in zip(
+                    curve.bandwidth_gbps, curve.latency_ns
+                ):
+                    result.add(
+                        memory=label,
+                        system=system,
+                        read_ratio=curve.read_ratio,
+                        bandwidth_gbps=float(bandwidth),
+                        latency_ns=float(latency),
+                    )
+        comparison = compare_families(actual, simulated)
+        result.note(
+            f"{label}: unloaded latency error "
+            f"{comparison.unloaded_latency_error_pct:.1f}%, saturated "
+            f"bandwidth error {comparison.saturated_bw_error_pct:.1f}%, "
+            f"mean latency error {comparison.mean_latency_error_pct:.1f}%"
+        )
+    return result

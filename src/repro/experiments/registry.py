@@ -1,0 +1,73 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from . import (
+    ablation,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    openpiton,
+    optane,
+    table1,
+)
+from .base import ExperimentResult
+
+_MODULES = (
+    table1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    openpiton,
+    optane,
+    ablation,
+)
+
+#: Experiment id -> run callable.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale)
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    return [module.EXPERIMENT_ID for module in _MODULES]

@@ -1,0 +1,34 @@
+"""Memory-model zoo: every model the paper compares, plus CXL/NUMA."""
+
+from .base import AccessType, MemoryModel, MemoryModelStats, MemoryRequest
+from .cxl import CxlExpanderModel
+from .cycle_accurate import CycleAccurateModel
+from .fixed import FixedLatencyModel
+from .flawed import DRAMsim3Analog, Ramulator2Analog, RamulatorAnalog
+from .internal_ddr import InternalDdrModel
+from .md1 import MD1QueueModel
+from .optane import OptaneModel, XPLINE_BYTES
+from .queueing import ArrivalRateEstimator, SingleServerQueue
+from .remote_socket import RemoteSocketModel
+from .simple_bw import SimpleBandwidthModel
+
+__all__ = [
+    "AccessType",
+    "ArrivalRateEstimator",
+    "CxlExpanderModel",
+    "CycleAccurateModel",
+    "DRAMsim3Analog",
+    "FixedLatencyModel",
+    "InternalDdrModel",
+    "MD1QueueModel",
+    "MemoryModel",
+    "MemoryModelStats",
+    "MemoryRequest",
+    "OptaneModel",
+    "Ramulator2Analog",
+    "RamulatorAnalog",
+    "RemoteSocketModel",
+    "SimpleBandwidthModel",
+    "SingleServerQueue",
+    "XPLINE_BYTES",
+]

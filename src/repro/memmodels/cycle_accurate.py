@@ -1,0 +1,57 @@
+"""Adapter exposing the cycle-level DRAM controller as a MemoryModel.
+
+This is the detailed end of the model zoo and the reproduction's
+"actual hardware": the Mess benchmark characterizes a System wired to
+this model, and the resulting curves feed the Mess analytical simulator.
+"""
+
+from __future__ import annotations
+
+from ..dram.controller import DramController
+from ..dram.stats import RowBufferStats
+from ..dram.timing import DramTiming
+from .base import MemoryModel, MemoryRequest
+
+
+class CycleAccurateModel(MemoryModel):
+    """Cycle-level DRAM behind the standard memory-model interface."""
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        channels: int = 6,
+        page_policy: str = "open",
+        write_queue_depth: int = 32,
+        interleave_bytes: int = 512,
+    ) -> None:
+        super().__init__()
+        # 512-byte channel interleave keeps prefetch bursts on one
+        # channel, giving the controller the same-row runs a real
+        # FR-FCFS scheduler would gather from its queues
+        self.controller = DramController(
+            timing,
+            channels=channels,
+            page_policy=page_policy,
+            write_queue_depth=write_queue_depth,
+            interleave_bytes=interleave_bytes,
+        )
+
+    @property
+    def name(self) -> str:
+        return f"dram/{self.controller.timing.name}x{self.controller.channels}"
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        return self.controller.peak_bandwidth_gbps
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        result = self.controller.submit(request)
+        return result.completion_ns - request.issue_time_ns
+
+    def row_buffer_stats(self) -> RowBufferStats:
+        """Row-buffer census since the last reset (Figure 7 data)."""
+        return self.controller.row_buffer_stats()
+
+    def reset(self) -> None:
+        super().reset()
+        self.controller.reset()

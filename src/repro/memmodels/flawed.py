@@ -1,0 +1,177 @@
+"""Analogs of the external memory simulators the paper found wanting.
+
+Section IV measures DRAMsim3, Ramulator and Ramulator 2 against real
+hardware and documents specific, reproducible error modes. These classes
+are *mechanical caricatures*: each implements exactly the failure
+signature the paper measured, so that our Figure 4/5/6/11 reproductions
+show the same qualitative gaps without shipping a fork of each C++
+simulator. The paper's findings being encoded here (rather than emerging
+from re-implemented device models) is a documented substitution — see
+DESIGN.md section 2.
+
+Measured signatures reproduced:
+
+- **Ramulator** (Figure 5e): constant ~25 ns latency at every load and
+  every read/write mix; simulated bandwidth reaching ~1.8x the
+  theoretical maximum (i.e. effectively unthrottled).
+- **DRAMsim3** (Figures 5d, 6b): latency starting ~52-68 ns, growing
+  linearly with bandwidth, *no* saturation knee, a hard ceiling at
+  ~88% of theoretical bandwidth (113 of 128 GB/s), and curves spread by
+  read/write mix with the *extreme* mixes (read-heavy and write-heavy)
+  fastest — the row-buffer artifact of Figure 7.
+- **Ramulator 2** (Figures 4d, 6a): unrealistically low latency that
+  shrinks further with write share, and a sharp vertical wall at less
+  than half the real system's bandwidth (126 vs 292 GB/s on
+  Graviton 3).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import CACHE_LINE_BYTES
+from .base import MemoryModel, MemoryRequest
+from .queueing import SingleServerQueue
+
+
+class RamulatorAnalog(MemoryModel):
+    """Constant-latency, effectively unthrottled (Ramulator signature)."""
+
+    def __init__(
+        self, latency_ns: float = 25.0, bandwidth_headroom: float = 1.8,
+        theoretical_gbps: float = 128.0,
+    ) -> None:
+        super().__init__()
+        if latency_ns <= 0:
+            raise ConfigurationError("latency must be positive")
+        if bandwidth_headroom <= 0 or theoretical_gbps <= 0:
+            raise ConfigurationError("bandwidth parameters must be positive")
+        self.latency_ns = latency_ns
+        cap = theoretical_gbps * bandwidth_headroom
+        self._pipe = SingleServerQueue(CACHE_LINE_BYTES / cap)
+
+    @property
+    def name(self) -> str:
+        return "ramulator-analog"
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        # the pipe only matters beyond 1.8x theoretical; below that the
+        # latency is flat, as measured
+        wait = self._pipe.admit(request.issue_time_ns)
+        return self.latency_ns + wait
+
+    def reset(self) -> None:
+        super().reset()
+        self._pipe.reset()
+
+
+class DRAMsim3Analog(MemoryModel):
+    """Linear no-saturation latency with mix-dependent spread."""
+
+    def __init__(
+        self,
+        base_latency_ns: float = 55.0,
+        slope_ns_per_gbps: float = 0.35,
+        theoretical_gbps: float = 128.0,
+        ceiling_fraction: float = 0.88,
+        mix_spread_ns: float = 20.0,
+        window_ops: int = 256,
+    ) -> None:
+        super().__init__()
+        if base_latency_ns <= 0 or slope_ns_per_gbps < 0:
+            raise ConfigurationError("latency parameters invalid")
+        if not 0.0 < ceiling_fraction <= 1.0:
+            raise ConfigurationError("ceiling fraction must be in (0, 1]")
+        if window_ops < 1:
+            raise ConfigurationError("window_ops must be >= 1")
+        self.base_latency_ns = base_latency_ns
+        self.slope_ns_per_gbps = slope_ns_per_gbps
+        self.mix_spread_ns = mix_spread_ns
+        self.window_ops = window_ops
+        cap = theoretical_gbps * ceiling_fraction
+        self._pipe = SingleServerQueue(CACHE_LINE_BYTES / cap)
+        self._window: list[tuple[float, bool]] = []
+        self._bandwidth_estimate = 0.0
+        self._read_fraction = 1.0
+
+    @property
+    def name(self) -> str:
+        return "dramsim3-analog"
+
+    def _observe(self, request: MemoryRequest) -> None:
+        self._window.append(
+            (request.issue_time_ns, request.access_type.is_write)
+        )
+        if len(self._window) < self.window_ops:
+            return
+        span = self._window[-1][0] - self._window[0][0]
+        if span > 0:
+            self._bandwidth_estimate = (
+                len(self._window) * CACHE_LINE_BYTES / span
+            )
+        writes = sum(1 for _, w in self._window if w)
+        self._read_fraction = 1.0 - writes / len(self._window)
+        self._window.clear()
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        self._observe(request)
+        wait = self._pipe.admit(request.issue_time_ns)
+        # extreme mixes enjoy the (wrong) high row-buffer hit rate the
+        # paper measured; intermediate mixes pay the spread
+        mix_penalty = self.mix_spread_ns * (
+            1.0 - abs(self._read_fraction - 0.5) * 2.0
+        )
+        return (
+            self.base_latency_ns
+            + self.slope_ns_per_gbps * self._bandwidth_estimate
+            + mix_penalty
+            + wait
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._pipe.reset()
+        self._window.clear()
+        self._bandwidth_estimate = 0.0
+        self._read_fraction = 1.0
+
+
+class Ramulator2Analog(MemoryModel):
+    """Low latency with a premature vertical bandwidth wall."""
+
+    def __init__(
+        self,
+        base_latency_ns: float = 18.0,
+        theoretical_gbps: float = 307.0,
+        wall_fraction: float = 0.42,
+        write_discount_ns: float = 10.0,
+    ) -> None:
+        super().__init__()
+        if base_latency_ns <= 0:
+            raise ConfigurationError("latency must be positive")
+        if not 0.0 < wall_fraction <= 1.0:
+            raise ConfigurationError("wall fraction must be in (0, 1]")
+        if write_discount_ns < 0 or write_discount_ns >= base_latency_ns:
+            raise ConfigurationError(
+                "write discount must be in [0, base latency)"
+            )
+        self.base_latency_ns = base_latency_ns
+        self.write_discount_ns = write_discount_ns
+        cap = theoretical_gbps * wall_fraction
+        self._pipe = SingleServerQueue(CACHE_LINE_BYTES / cap)
+
+    @property
+    def name(self) -> str:
+        return "ramulator2-analog"
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        wait = self._pipe.admit(request.issue_time_ns)
+        latency = self.base_latency_ns
+        if request.access_type.is_write:
+            # error grows with the write share: writes are modeled as
+            # cheaper than they really are
+            latency -= self.write_discount_ns
+        return latency + wait
+
+    def reset(self) -> None:
+        super().reset()
+        self._pipe.reset()

@@ -1,0 +1,87 @@
+"""Remote-socket (CPU-less NUMA node) memory model (Appendix B).
+
+Industry emulates CXL memory expansion with a dual-socket server: one
+socket hosts the CPU, the other contributes only its memory. Compared
+with a real CXL expander the paper measures two differences that this
+model encodes structurally:
+
+- ~28 ns *higher* latency in the low-bandwidth region (the coherent
+  inter-socket hop is longer than the CXL port path), and
+- a *higher* bandwidth saturation area (the inter-socket link plus a
+  multi-channel DDR node out-muscles an x8 CXL device).
+
+Appendix B's conclusion follows from these two facts alone: low-bandwidth
+workloads run slower on the remote socket than they would on CXL, while
+bandwidth-hungry workloads run faster.
+"""
+
+from __future__ import annotations
+
+from ..dram.controller import DramController
+from ..dram.timing import DDR4_3200, DramTiming
+from ..errors import ConfigurationError
+from ..units import CACHE_LINE_BYTES
+from .base import AccessType, MemoryModel, MemoryRequest
+from .queueing import SingleServerQueue
+
+
+class RemoteSocketModel(MemoryModel):
+    """Inter-socket hop + multi-channel DDR node.
+
+    Parameters
+    ----------
+    hop_latency_ns:
+        Round-trip latency added by the coherent inter-socket link.
+    link_gbps_per_direction:
+        Payload bandwidth of the inter-socket link, per direction.
+    backend_timing / backend_channels:
+        The remote node's DRAM configuration.
+    """
+
+    def __init__(
+        self,
+        hop_latency_ns: float = 115.0,
+        link_gbps_per_direction: float = 48.0,
+        backend_timing: DramTiming = DDR4_3200,
+        backend_channels: int = 2,
+        write_ack_latency_ns: float = 40.0,
+    ) -> None:
+        super().__init__()
+        if hop_latency_ns <= 0 or write_ack_latency_ns <= 0:
+            raise ConfigurationError("latencies must be positive")
+        if link_gbps_per_direction <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        self.hop_latency_ns = hop_latency_ns
+        self.write_ack_latency_ns = write_ack_latency_ns
+        self.link_gbps_per_direction = link_gbps_per_direction
+        service = CACHE_LINE_BYTES / link_gbps_per_direction
+        self._read_lane = SingleServerQueue(service)
+        self._write_lane = SingleServerQueue(service)
+        self.backend = DramController(backend_timing, channels=backend_channels)
+
+    @property
+    def name(self) -> str:
+        return "remote-socket"
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Best-case aggregate bandwidth of the remote node."""
+        return min(
+            2 * self.link_gbps_per_direction,
+            self.backend.peak_bandwidth_gbps,
+        )
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        backend_result = self.backend.submit(request)
+        backend_latency = backend_result.completion_ns - request.issue_time_ns
+        if request.access_type is AccessType.READ:
+            lane_wait = self._read_lane.admit(request.issue_time_ns)
+            return self.hop_latency_ns + lane_wait + backend_latency
+        lane_wait = self._write_lane.admit(request.issue_time_ns)
+        return self.write_ack_latency_ns + lane_wait
+
+    def reset(self) -> None:
+        super().reset()
+        self._read_lane.reset()
+        self._write_lane.reset()
+        self.backend.reset()

@@ -1,0 +1,63 @@
+"""gem5 "simple memory" analog: fixed latency behind a bandwidth pipe.
+
+gem5's SimpleMemory applies a constant device latency and a global
+bandwidth throttle, and it retires writes without waiting for data.
+Figure 4(b) of the paper shows the consequences on a Graviton 3 model:
+latency pinned at 4-49 ns across almost the whole bandwidth range,
+rising only as bandwidth asymptotically approaches the theoretical
+maximum — and, *backwards* from real hardware, latency falling as the
+write share grows, because cheap writes pull the average down. This
+model reproduces those error modes mechanically.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import CACHE_LINE_BYTES
+from .base import MemoryModel, MemoryRequest
+from .queueing import SingleServerQueue
+
+
+class SimpleBandwidthModel(MemoryModel):
+    """Constant latency plus deterministic pipe backlog.
+
+    Parameters
+    ----------
+    read_latency_ns / write_latency_ns:
+        Device latencies. gem5's simple model acknowledges writes almost
+        immediately; the low default write latency reproduces the
+        inverted write behaviour the paper criticizes.
+    peak_bandwidth_gbps:
+        The pipe's capacity; the only source of load-dependence.
+    """
+
+    def __init__(
+        self,
+        read_latency_ns: float = 30.0,
+        write_latency_ns: float = 4.0,
+        peak_bandwidth_gbps: float = 307.0,
+    ) -> None:
+        super().__init__()
+        if read_latency_ns <= 0 or write_latency_ns <= 0:
+            raise ConfigurationError("latencies must be positive")
+        if peak_bandwidth_gbps <= 0:
+            raise ConfigurationError("peak bandwidth must be positive")
+        self.read_latency_ns = read_latency_ns
+        self.write_latency_ns = write_latency_ns
+        self.peak_bandwidth_gbps = peak_bandwidth_gbps
+        self._pipe = SingleServerQueue(CACHE_LINE_BYTES / peak_bandwidth_gbps)
+
+    @property
+    def name(self) -> str:
+        return "gem5-simple"
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        wait = self._pipe.admit(request.issue_time_ns)
+        if request.access_type.is_write:
+            # writes are acknowledged after enqueue, not after data
+            return self.write_latency_ns + min(wait, self.write_latency_ns)
+        return self.read_latency_ns + wait
+
+    def reset(self) -> None:
+        super().reset()
+        self._pipe.reset()

@@ -1,0 +1,46 @@
+"""Table I platform presets and synthetic curve generation."""
+
+from .presets import (
+    AMAZON_GRAVITON3,
+    AMD_ZEN2,
+    FUJITSU_A64FX,
+    IBM_POWER9,
+    INTEL_CASCADE_LAKE,
+    INTEL_SAPPHIRE_RAPIDS,
+    INTEL_SKYLAKE,
+    NVIDIA_H100,
+    TABLE_I_PLATFORMS,
+    cxl_expander_family,
+    family,
+    optane_family,
+    platform,
+    remote_socket_family,
+)
+from .spec import PlatformSpec, WaveformSpec
+from .synthetic import (
+    synthesize_curve,
+    synthesize_duplex_family,
+    synthesize_family,
+)
+
+__all__ = [
+    "AMAZON_GRAVITON3",
+    "AMD_ZEN2",
+    "FUJITSU_A64FX",
+    "IBM_POWER9",
+    "INTEL_CASCADE_LAKE",
+    "INTEL_SAPPHIRE_RAPIDS",
+    "INTEL_SKYLAKE",
+    "NVIDIA_H100",
+    "PlatformSpec",
+    "TABLE_I_PLATFORMS",
+    "WaveformSpec",
+    "cxl_expander_family",
+    "family",
+    "optane_family",
+    "platform",
+    "remote_socket_family",
+    "synthesize_curve",
+    "synthesize_duplex_family",
+    "synthesize_family",
+]

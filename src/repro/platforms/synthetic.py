@@ -1,0 +1,209 @@
+"""Synthesis of calibrated bandwidth-latency curve families.
+
+Real Mess curves are measured on hardware; we have none, so platform
+presets generate families analytically, calibrated to reproduce every
+number Table I reports (see DESIGN.md section 2 for the substitution
+argument). The generator enforces the qualitative structure Section III
+describes:
+
+- latency is flat near zero load, rises through a knee, and climbs
+  steeply toward each curve's maximum latency at its peak bandwidth;
+- on DDR systems, more writes means a lower peak bandwidth and a higher
+  maximum latency (tWR/tWTR costs); Zen 2's anomalous mixed-traffic dip
+  is expressible via an explicit per-ratio peak profile;
+- flagged platforms get a post-peak "waveform" tail where bandwidth
+  falls back while latency keeps rising (row-buffer thrashing).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.curve import BandwidthLatencyCurve
+from ..core.family import CurveFamily
+from ..errors import ConfigurationError
+from .spec import PlatformSpec
+
+#: Utilization grid (fraction of each curve's peak bandwidth) at which
+#: points are sampled. Dense near the knee and the saturated tail.
+_UTILIZATION_GRID = (
+    0.02, 0.08, 0.15, 0.25, 0.35, 0.45, 0.55, 0.63, 0.70, 0.76,
+    0.82, 0.87, 0.91, 0.945, 0.97, 0.985, 0.995, 1.0,
+)
+
+
+def _interp_ratio(read_ratio: float, at_half: float, at_one: float) -> float:
+    """Linear blend between the 50%-read and 100%-read endpoint values."""
+    span = (read_ratio - 0.5) / 0.5
+    return at_half + (at_one - at_half) * span
+
+
+def _latency_exponent(
+    unloaded_ns: float, max_ns: float, onset_utilization: float
+) -> float:
+    """Exponent ``k`` placing the latency knee at the onset utilization.
+
+    The curve is ``lat(u) = L0 + (Lmax - L0) * u^k``; saturation onset is
+    defined (Section II-C) as the point where latency reaches ``2 * L0``,
+    so ``k = log(L0 / (Lmax - L0)) / log(u_onset)``. Curves whose maximum
+    latency never doubles the unloaded latency (the H100's 100%-read
+    curve: 699 ns max vs 363 ns unloaded) get their knee placed at 90%
+    of the achievable latency rise instead — they simply never enter the
+    2x-saturated region, as on the real GPU.
+    """
+    if max_ns <= unloaded_ns:
+        raise ConfigurationError(
+            f"max latency {max_ns} must exceed the unloaded {unloaded_ns}"
+        )
+    rise_target = min(unloaded_ns, 0.9 * (max_ns - unloaded_ns))
+    return math.log(rise_target / (max_ns - unloaded_ns)) / math.log(
+        onset_utilization
+    )
+
+
+def synthesize_curve(
+    read_ratio: float,
+    unloaded_latency_ns: float,
+    max_latency_ns: float,
+    peak_bandwidth_gbps: float,
+    onset_fraction_of_peak: float,
+    waveform_depth: float = 0.0,
+    waveform_points: int = 0,
+) -> BandwidthLatencyCurve:
+    """Generate one calibrated curve.
+
+    The pre-peak section samples the utilization grid; the optional
+    post-peak waveform tail appends points with declining bandwidth and
+    still-increasing latency, making the curve parametric in pressure
+    exactly like a real waveform measurement.
+    """
+    has_waveform = waveform_depth > 0.0 and waveform_points > 0
+    # on waveform curves the latency maximum is reached at the *end* of
+    # the declining tail, so the pre-peak section tops out below it
+    tail_overshoot = 1.10
+    pre_peak_max = max_latency_ns / tail_overshoot if has_waveform else max_latency_ns
+    k = _latency_exponent(
+        unloaded_latency_ns, pre_peak_max, onset_fraction_of_peak
+    )
+    grid = np.asarray(_UTILIZATION_GRID)
+    bandwidth = grid * peak_bandwidth_gbps
+    latency = unloaded_latency_ns + (pre_peak_max - unloaded_latency_ns) * (
+        grid ** k
+    )
+    if has_waveform:
+        # bandwidth falls back while latency keeps climbing to the true max
+        decline = np.linspace(
+            waveform_depth / waveform_points, waveform_depth, waveform_points
+        )
+        tail_bw = peak_bandwidth_gbps * (1.0 - decline)
+        tail_lat = pre_peak_max * np.linspace(
+            1.02, tail_overshoot, waveform_points
+        )
+        bandwidth = np.concatenate([bandwidth, tail_bw])
+        latency = np.concatenate([latency, tail_lat])
+    return BandwidthLatencyCurve(read_ratio, bandwidth, latency)
+
+
+def synthesize_family(spec: PlatformSpec) -> CurveFamily:
+    """Generate the full calibrated curve family for a platform.
+
+    Calibration invariants (verified by the platform tests):
+
+    - the family's unloaded latency equals ``spec.unloaded_latency_ns``;
+    - per-curve maximum latencies span ``spec.max_latency_range_ns``;
+    - the best curve peaks at ``saturated_bw_range_pct[1]`` percent of
+      theoretical bandwidth and the earliest saturation onset lands at
+      ``saturated_bw_range_pct[0]`` percent.
+    """
+    sat_lo_pct, sat_hi_pct = spec.saturated_bw_range_pct
+    lat_lo, lat_hi = spec.max_latency_range_ns
+    ratios = spec.read_ratios
+    curves = []
+    for index, ratio in enumerate(ratios):
+        if spec.peak_profile is not None:
+            peak_fraction = spec.peak_profile[index]
+        else:
+            # default DDR behaviour: peak bandwidth grows with read share.
+            # The lowest peak is placed so that its saturation onset
+            # (onset_fraction * peak) reproduces the range floor.
+            lowest_peak = (sat_lo_pct / 100.0) / spec.onset_fraction_of_peak
+            peak_fraction = _interp_ratio(ratio, lowest_peak, sat_hi_pct / 100.0)
+        # writes raise the maximum latency (reads are the best case)
+        max_latency = _interp_ratio(ratio, lat_hi, lat_lo)
+        waveform_depth = 0.0
+        waveform_points = 0
+        if spec.waveform is not None and spec.waveform.applies_to(ratio):
+            waveform_depth = spec.waveform.depth_fraction
+            waveform_points = spec.waveform.points
+        curves.append(
+            synthesize_curve(
+                read_ratio=ratio,
+                unloaded_latency_ns=spec.unloaded_latency_ns,
+                max_latency_ns=max_latency,
+                peak_bandwidth_gbps=peak_fraction * spec.theoretical_bw_gbps,
+                onset_fraction_of_peak=spec.onset_fraction_of_peak,
+                waveform_depth=waveform_depth,
+                waveform_points=waveform_points,
+            )
+        )
+    return CurveFamily(
+        curves,
+        name=spec.name,
+        theoretical_bandwidth_gbps=spec.theoretical_bw_gbps,
+    )
+
+
+def synthesize_duplex_family(
+    name: str,
+    read_link_gbps: float,
+    write_link_gbps: float,
+    unloaded_latency_ns: float,
+    max_latency_ns: float,
+    read_ratios: tuple[float, ...] = (
+        0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+    ),
+    onset_fraction_of_peak: float = 0.85,
+    backend_cap_gbps: float | None = None,
+) -> CurveFamily:
+    """Curve family of a full-duplex link (the CXL expander shape).
+
+    Peak bandwidth per mix is the duplex bottleneck
+    ``min(read_link / r, write_link / (1 - r))`` (capped by the backend
+    DIMM): balanced traffic uses both directions and wins, while
+    one-sided traffic saturates a single direction — the signature
+    behaviour of Section V-C's manufacturer curves.
+    """
+    if read_link_gbps <= 0 or write_link_gbps <= 0:
+        raise ConfigurationError("link bandwidths must be positive")
+    curves = []
+    for ratio in read_ratios:
+        if ratio == 0.0:
+            peak = write_link_gbps
+        elif ratio == 1.0:
+            peak = read_link_gbps
+        else:
+            peak = min(read_link_gbps / ratio, write_link_gbps / (1.0 - ratio))
+        if backend_cap_gbps is not None:
+            peak = min(peak, backend_cap_gbps)
+        # one-sided traffic also hits its ceiling with more violence:
+        # scale max latency mildly with imbalance
+        imbalance = abs(ratio - 0.5) * 2.0
+        max_lat = max_latency_ns * (1.0 + 0.25 * imbalance)
+        curves.append(
+            synthesize_curve(
+                read_ratio=ratio,
+                unloaded_latency_ns=unloaded_latency_ns,
+                max_latency_ns=max_lat,
+                peak_bandwidth_gbps=peak,
+                onset_fraction_of_peak=onset_fraction_of_peak,
+            )
+        )
+    theoretical = min(
+        read_link_gbps + write_link_gbps,
+        backend_cap_gbps if backend_cap_gbps is not None else float("inf"),
+    )
+    return CurveFamily(
+        curves, name=name, theoretical_bandwidth_gbps=theoretical
+    )

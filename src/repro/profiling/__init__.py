@@ -1,0 +1,48 @@
+"""Mess application profiling: sampling, curve positioning, Paraver."""
+
+from .paraver import (
+    EVENT_BANDWIDTH_MBPS,
+    EVENT_MPI_CALL,
+    EVENT_PHASE,
+    EVENT_STRESS_MILLI,
+    MPI_CALL_IDS,
+    ParaverEvent,
+    ParaverTrace,
+    read_prv,
+    write_prv,
+)
+from .profile import MessProfile, ProfilePoint
+from .sampler import (
+    DEFAULT_SAMPLE_MS,
+    BandwidthSample,
+    sample_phase_profile,
+    sample_system,
+)
+from .timeline import (
+    IterationSummary,
+    PhaseSummary,
+    render_timeline,
+    split_iterations,
+)
+
+__all__ = [
+    "BandwidthSample",
+    "DEFAULT_SAMPLE_MS",
+    "EVENT_BANDWIDTH_MBPS",
+    "EVENT_MPI_CALL",
+    "EVENT_PHASE",
+    "EVENT_STRESS_MILLI",
+    "IterationSummary",
+    "MPI_CALL_IDS",
+    "MessProfile",
+    "ParaverEvent",
+    "ParaverTrace",
+    "PhaseSummary",
+    "ProfilePoint",
+    "read_prv",
+    "render_timeline",
+    "sample_phase_profile",
+    "sample_system",
+    "split_iterations",
+    "write_prv",
+]

@@ -1,0 +1,161 @@
+"""Paraver trace subset: writing and parsing ``.prv`` files.
+
+Paraver's input is a timestamped trace of states, events and
+communications produced by Extrae. The Mess extension adds memory
+events; we emit the same record structure on a single-application,
+single-task layout:
+
+- header: ``#Paraver (<date>):<total_time>:<nodes>:<apps>...``
+- state records:  ``1:cpu:appl:task:thread:begin:end:state``
+- event records:  ``2:cpu:appl:task:thread:time:type:value[:type:value]*``
+
+Event types used by the Mess extension here:
+
+=================  ==============================================
+type               meaning
+=================  ==============================================
+42000001           memory bandwidth, MB/s (integer)
+42000002           memory stress score x 1000
+50000001           MPI call id (see :data:`MPI_CALL_IDS`)
+60000001           phase label id (per-trace string table)
+=================  ==============================================
+
+This is a faithful subset — enough structure for the paper's timeline
+analyses — not a complete Paraver implementation (DESIGN.md section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import TraceError
+from .profile import ProfilePoint
+
+EVENT_BANDWIDTH_MBPS = 42000001
+EVENT_STRESS_MILLI = 42000002
+EVENT_MPI_CALL = 50000001
+EVENT_PHASE = 60000001
+
+#: Stable ids for the MPI calls the HPCG analysis distinguishes.
+MPI_CALL_IDS = {
+    "MPI_Send": 1,
+    "MPI_Recv": 2,
+    "MPI_Allreduce": 3,
+    "MPI_Wait": 4,
+    "MPI_Barrier": 5,
+}
+
+
+@dataclass(frozen=True)
+class ParaverEvent:
+    """One parsed event record (a single type:value pair)."""
+
+    time_ns: float
+    event_type: int
+    value: int
+
+
+@dataclass
+class ParaverTrace:
+    """In-memory representation of a Mess-extended Paraver trace."""
+
+    total_time_ns: float
+    events: list[ParaverEvent] = field(default_factory=list)
+    phase_table: dict[int, str] = field(default_factory=dict)
+
+    def events_of_type(self, event_type: int) -> list[ParaverEvent]:
+        return [e for e in self.events if e.event_type == event_type]
+
+    def stress_series(self) -> list[tuple[float, float]]:
+        """(time_ns, stress score) series recovered from the trace."""
+        return [
+            (e.time_ns, e.value / 1000.0)
+            for e in self.events_of_type(EVENT_STRESS_MILLI)
+        ]
+
+
+def write_prv(
+    points: Sequence[ProfilePoint],
+    path: str | Path,
+    application: str = "hpcg",
+) -> None:
+    """Write profiled samples as a Mess-extended ``.prv`` trace."""
+    if not points:
+        raise TraceError("cannot write an empty trace")
+    path = Path(path)
+    total_ns = max(p.sample.end_ns for p in points)
+    phase_ids: dict[str, int] = {}
+    lines = [
+        f"#Paraver (01/01/2026 at 00:00):{int(total_ns)}_ns:1(1):1:"
+        f"1(1:1)  # {application} + Mess memory profiling"
+    ]
+    for point in points:
+        sample = point.sample
+        begin = int(sample.start_ns)
+        end = int(sample.end_ns)
+        # state record: running (1) during the sample window
+        lines.append(f"1:1:1:1:1:{begin}:{end}:1")
+        pairs = [
+            (EVENT_BANDWIDTH_MBPS, int(sample.bandwidth_gbps * 1000)),
+            (EVENT_STRESS_MILLI, int(round(point.stress_score * 1000))),
+        ]
+        if sample.mpi_call:
+            pairs.append(
+                (EVENT_MPI_CALL, MPI_CALL_IDS.get(sample.mpi_call, 0))
+            )
+        if sample.phase:
+            phase_id = phase_ids.setdefault(sample.phase, len(phase_ids) + 1)
+            pairs.append((EVENT_PHASE, phase_id))
+        flat = ":".join(f"{t}:{v}" for t, v in pairs)
+        lines.append(f"2:1:1:1:1:{begin}:{flat}")
+    # string table as trailer comments (Paraver keeps it in the .pcf;
+    # we inline it so one file round-trips)
+    for label, phase_id in sorted(phase_ids.items(), key=lambda kv: kv[1]):
+        lines.append(f"# phase {phase_id} {label}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_prv(path: str | Path) -> ParaverTrace:
+    """Parse a trace written by :func:`write_prv`."""
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or not lines[0].startswith("#Paraver"):
+        raise TraceError(f"{path} is not a Paraver trace (missing header)")
+    header = lines[0]
+    try:
+        # the date field contains colons; the total time follows the
+        # first "):" separator
+        total_str = header.split("):", 1)[1].split(":", 1)[0]
+        total_ns = float(total_str.replace("_ns", ""))
+    except (IndexError, ValueError) as exc:
+        raise TraceError(f"malformed Paraver header: {header!r}") from exc
+    trace = ParaverTrace(total_time_ns=total_ns)
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        if line.startswith("# phase "):
+            _, _, phase_id, label = line.split(" ", 3)
+            trace.phase_table[int(phase_id)] = label
+            continue
+        if line.startswith("#"):
+            continue
+        fields = line.split(":")
+        if fields[0] == "1":
+            continue  # state records carry no Mess payload
+        if fields[0] != "2":
+            raise TraceError(f"line {lineno}: unknown record kind {fields[0]!r}")
+        if len(fields) < 8 or (len(fields) - 6) % 2 != 0:
+            raise TraceError(f"line {lineno}: malformed event record")
+        time_ns = float(fields[5])
+        payload = fields[6:]
+        for event_type, value in zip(payload[0::2], payload[1::2]):
+            trace.events.append(
+                ParaverEvent(
+                    time_ns=time_ns,
+                    event_type=int(event_type),
+                    value=int(value),
+                )
+            )
+    return trace

@@ -1,0 +1,115 @@
+"""Positioning application samples on the platform's curves (Figure 15).
+
+The Paraver side of Mess profiling: every bandwidth sample becomes a
+point on the platform's bandwidth-latency curves, annotated with the
+inferred memory latency, the memory stress score and its traffic-light
+color. The profile summary reports the quantities the paper reads off
+Figure 15: how much of the execution sits in the saturated area and the
+peak latencies reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.family import CurveFamily
+from ..core.metrics import SATURATION_FACTOR
+from ..core.stress import StressScorer, default_scorer
+from ..errors import ProfilingError
+from .sampler import BandwidthSample
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One sample positioned on the curves."""
+
+    sample: BandwidthSample
+    latency_ns: float
+    stress_score: float
+    color: str
+
+
+@dataclass
+class MessProfile:
+    """An application's positions on one platform's curve family."""
+
+    family: CurveFamily
+    points: list[ProfilePoint] = field(default_factory=list)
+    scorer: StressScorer | None = None
+
+    @classmethod
+    def from_samples(
+        cls,
+        family: CurveFamily,
+        samples: Sequence[BandwidthSample],
+        scorer: StressScorer | None = None,
+    ) -> "MessProfile":
+        """Position every sample on the family's curves."""
+        if not samples:
+            raise ProfilingError("no samples to profile")
+        scorer = scorer or default_scorer(family)
+        points = []
+        for sample in samples:
+            latency = family.latency_at(sample.bandwidth_gbps, sample.read_ratio)
+            score = scorer.score(sample.bandwidth_gbps, sample.read_ratio)
+            points.append(
+                ProfilePoint(
+                    sample=sample,
+                    latency_ns=latency,
+                    stress_score=score,
+                    color=scorer.gradient_color(score),
+                )
+            )
+        return cls(family=family, points=points, scorer=scorer)
+
+    # ------------------------------------------------------------------
+    # Figure 15 summary quantities
+    # ------------------------------------------------------------------
+
+    def time_weighted_mean_stress(self) -> float:
+        """Stress score averaged over wall time, not over samples."""
+        total = sum(p.sample.duration_ns for p in self.points)
+        if total <= 0:
+            raise ProfilingError("profile has no elapsed time")
+        return (
+            sum(p.stress_score * p.sample.duration_ns for p in self.points)
+            / total
+        )
+
+    def saturated_time_fraction(
+        self, saturation_factor: float = SATURATION_FACTOR
+    ) -> float:
+        """Fraction of wall time spent in the saturated bandwidth area.
+
+        A sample is saturated when its bandwidth exceeds the saturation
+        onset of its nearest curve — the paper's observation that "most
+        of the HPCG execution is located in the saturated bandwidth
+        area".
+        """
+        total = 0.0
+        saturated = 0.0
+        for point in self.points:
+            curve = self.family.nearest(point.sample.read_ratio)
+            onset = curve.saturation_bandwidth_gbps(saturation_factor)
+            total += point.sample.duration_ns
+            if point.sample.bandwidth_gbps >= onset:
+                saturated += point.sample.duration_ns
+        if total <= 0:
+            raise ProfilingError("profile has no elapsed time")
+        return saturated / total
+
+    def peak_latency_ns(self) -> float:
+        """Highest inferred memory latency across samples."""
+        return max(p.latency_ns for p in self.points)
+
+    def peak_bandwidth_gbps(self) -> float:
+        """Highest sampled bandwidth."""
+        return max(p.sample.bandwidth_gbps for p in self.points)
+
+    def color_histogram(self) -> dict[str, int]:
+        """Sample counts per gradient color (green/yellow/red)."""
+        histogram = {"green": 0, "yellow": 0, "red": 0}
+        for point in self.points:
+            histogram[point.color] += 1
+        return histogram

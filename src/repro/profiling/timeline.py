@@ -1,0 +1,155 @@
+"""Timeline analysis: iterations, phases and stress (Figure 16).
+
+Reproduces the Paraver workflow of Section VI-B2: use MPI_Allreduce
+events as iteration delimiters, classify compute phases by length, and
+read the memory stress score along the timeline. Also renders the
+three-strip ASCII timeline our benches print in place of the Paraver
+screenshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProfilingError
+from .profile import MessProfile, ProfilePoint
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregate of one contiguous phase occurrence on the timeline."""
+
+    label: str
+    start_ns: float
+    duration_ns: float
+    mean_stress: float
+    mpi_call: str | None
+
+
+@dataclass
+class IterationSummary:
+    """One application iteration between MPI_Allreduce delimiters."""
+
+    index: int
+    start_ns: float
+    duration_ns: float
+    phases: list[PhaseSummary] = field(default_factory=list)
+
+    @property
+    def longest_phase(self) -> PhaseSummary:
+        compute = [p for p in self.phases if p.mpi_call is None]
+        pool = compute or self.phases
+        return max(pool, key=lambda p: p.duration_ns)
+
+
+def _group_phases(points: list[ProfilePoint]) -> list[PhaseSummary]:
+    """Merge consecutive samples sharing a phase label."""
+    summaries: list[PhaseSummary] = []
+    group: list[ProfilePoint] = []
+
+    def flush() -> None:
+        if not group:
+            return
+        duration = sum(p.sample.duration_ns for p in group)
+        stress = (
+            sum(p.stress_score * p.sample.duration_ns for p in group) / duration
+        )
+        summaries.append(
+            PhaseSummary(
+                label=group[0].sample.phase or "unlabeled",
+                start_ns=group[0].sample.start_ns,
+                duration_ns=duration,
+                mean_stress=stress,
+                mpi_call=group[0].sample.mpi_call,
+            )
+        )
+        group.clear()
+
+    current_label: str | None = None
+    for point in points:
+        label = point.sample.phase
+        if label != current_label:
+            flush()
+            current_label = label
+        group.append(point)
+    flush()
+    return summaries
+
+
+def split_iterations(
+    profile: MessProfile, delimiter_mpi: str = "MPI_Allreduce"
+) -> list[IterationSummary]:
+    """Cut the timeline at ``delimiter_mpi`` phases (Figure 16 method).
+
+    Each iteration spans from just after one delimiter to the end of
+    the next; a trailing partial iteration is kept.
+    """
+    phases = _group_phases(profile.points)
+    if not phases:
+        raise ProfilingError("profile has no phases to analyze")
+    iterations: list[IterationSummary] = []
+    current: list[PhaseSummary] = []
+    for phase in phases:
+        current.append(phase)
+        if phase.mpi_call == delimiter_mpi:
+            iterations.append(_finish_iteration(len(iterations), current))
+            current = []
+    if current:
+        iterations.append(_finish_iteration(len(iterations), current))
+    return iterations
+
+
+def _finish_iteration(
+    index: int, phases: list[PhaseSummary]
+) -> IterationSummary:
+    start = phases[0].start_ns
+    duration = sum(p.duration_ns for p in phases)
+    return IterationSummary(
+        index=index, start_ns=start, duration_ns=duration, phases=list(phases)
+    )
+
+
+_STRESS_GLYPHS = " .:-=+*#%@"
+
+
+def render_timeline(profile: MessProfile, width: int = 96) -> str:
+    """Three-strip ASCII rendition of the Figure 16 timeline.
+
+    Strip 1 marks MPI calls, strip 2 encodes phase identity by letter,
+    strip 3 encodes the stress score by glyph density (the paper's
+    green-yellow-red gradient, monochrome).
+    """
+    if width < 10:
+        raise ProfilingError("width must be at least 10")
+    points = profile.points
+    if not points:
+        raise ProfilingError("profile has no points")
+    total = max(p.sample.end_ns for p in points)
+    mpi_strip = [" "] * width
+    phase_strip = [" "] * width
+    stress_strip = [" "] * width
+    labels: dict[str, str] = {}
+    for point in points:
+        lo = int(point.sample.start_ns / total * (width - 1))
+        hi = max(lo + 1, int(point.sample.end_ns / total * (width - 1)))
+        label = point.sample.phase or "?"
+        letter = labels.setdefault(
+            label, chr(ord("a") + (len(labels) % 26))
+        )
+        glyph = _STRESS_GLYPHS[
+            min(len(_STRESS_GLYPHS) - 1, int(point.stress_score * len(_STRESS_GLYPHS)))
+        ]
+        for column in range(lo, min(hi, width)):
+            phase_strip[column] = letter
+            stress_strip[column] = glyph
+            if point.sample.mpi_call:
+                mpi_strip[column] = "M"
+    legend = ", ".join(f"{v}={k}" for k, v in labels.items())
+    return "\n".join(
+        [
+            "MPI:    " + "".join(mpi_strip),
+            "phase:  " + "".join(phase_strip),
+            "stress: " + "".join(stress_strip),
+            f"legend: {legend}",
+        ]
+    )

@@ -1,0 +1,21 @@
+"""Memory traces: format, capture from simulation, trace-driven replay."""
+
+from .capture import TraceCapturingModel
+from .driver import (
+    ReplayResult,
+    replay_trace,
+    replay_trace_frfcfs,
+    synthesize_mess_trace,
+)
+from .format import TraceRecord, read_trace, write_trace
+
+__all__ = [
+    "ReplayResult",
+    "TraceCapturingModel",
+    "TraceRecord",
+    "read_trace",
+    "replay_trace",
+    "replay_trace_frfcfs",
+    "synthesize_mess_trace",
+    "write_trace",
+]

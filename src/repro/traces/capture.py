@@ -1,0 +1,39 @@
+"""Capturing memory traces from a running simulation.
+
+Wraps any memory model; every request that flows through is recorded
+with its issue time, exactly how Section IV-D harvests Mess traces from
+the ZSim simulation before replaying them trace-driven.
+"""
+
+from __future__ import annotations
+
+from ..memmodels.base import MemoryModel, MemoryRequest
+from .format import TraceRecord
+
+
+class TraceCapturingModel(MemoryModel):
+    """Transparent proxy that records all traffic through a model."""
+
+    def __init__(self, inner: MemoryModel) -> None:
+        super().__init__()
+        self.inner = inner
+        self.records: list[TraceRecord] = []
+
+    @property
+    def name(self) -> str:
+        return f"capture({self.inner.name})"
+
+    def _service_latency_ns(self, request: MemoryRequest) -> float:
+        self.records.append(
+            TraceRecord(
+                issue_time_ns=request.issue_time_ns,
+                address=request.address,
+                access_type=request.access_type,
+            )
+        )
+        return self.inner.access(request)
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+        self.records.clear()

@@ -1,0 +1,34 @@
+"""Evaluation workloads: STREAM, LMbench, multichase, HPCG, GUPS, SPEC."""
+
+from .base import Workload, simulation_error_pct
+from .gups import GupsWorkload, gups_ops
+from .hpcg import HPCG_ITERATION, HpcgPhaseProfile, HpcgProxy, PhaseSegment
+from .lmbench import LmbenchLatency, latency_vs_working_set
+from .multichase import Multichase
+from .spec_mix import (
+    SPEC_CPU2006,
+    AppProfile,
+    estimate_time_per_access,
+    performance_delta_pct,
+)
+from .stream import StreamWorkload, best_stream_bandwidth
+
+__all__ = [
+    "AppProfile",
+    "GupsWorkload",
+    "HPCG_ITERATION",
+    "HpcgPhaseProfile",
+    "HpcgProxy",
+    "LmbenchLatency",
+    "Multichase",
+    "PhaseSegment",
+    "SPEC_CPU2006",
+    "StreamWorkload",
+    "Workload",
+    "best_stream_bandwidth",
+    "estimate_time_per_access",
+    "gups_ops",
+    "latency_vs_working_set",
+    "performance_delta_pct",
+    "simulation_error_pct",
+]

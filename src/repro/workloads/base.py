@@ -1,0 +1,47 @@
+"""Workload interface for full-system simulations.
+
+A workload knows how to attach operation streams to a
+:class:`~repro.cpu.system.System` and how to extract its headline
+performance metric from the run result. The paper's simulator evaluation
+(Figures 11 and 13) compares exactly these metrics between a simulated
+and an "actual" platform, per memory model.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..cpu.system import System, SystemResult
+
+
+class Workload(abc.ABC):
+    """One benchmark runnable on a simulated system."""
+
+    #: Short identifier used in experiment tables.
+    name: str = "workload"
+    #: What :meth:`score` measures, e.g. ``"bandwidth_gbps"``.
+    metric_name: str = "score"
+    #: True when a larger score means better performance (bandwidth);
+    #: False for latency-style metrics.
+    higher_is_better: bool = True
+
+    @abc.abstractmethod
+    def attach(self, system: System) -> None:
+        """Attach this workload's operation streams to ``system``."""
+
+    @abc.abstractmethod
+    def score(self, result: SystemResult) -> float:
+        """Extract the benchmark's headline metric from a run result."""
+
+    def run(self, system: System, until_ns: float | None = None) -> float:
+        """Attach, run to completion (or a bound) and return the score."""
+        self.attach(system)
+        result = system.run(until_ns=until_ns)
+        return self.score(result)
+
+
+def simulation_error_pct(simulated: float, actual: float) -> float:
+    """Relative simulation error in percent (paper's Figures 11/13)."""
+    if actual == 0:
+        raise ZeroDivisionError("actual metric is zero; error undefined")
+    return 100.0 * abs(simulated - actual) / abs(actual)

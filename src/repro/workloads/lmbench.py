@@ -1,0 +1,75 @@
+"""LMbench ``lat_mem_rd`` analog: unloaded memory latency.
+
+LMbench walks a pointer chain over increasing working-set sizes; the
+plateau past the LLC size is the main-memory load-to-use latency. The
+paper uses it (with Google multichase) to validate Mess's unloaded
+latency and as one of the three benchmarks in the simulator accuracy
+comparison (Figures 11 and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.pointer_chase import pointer_chase_ops
+from ..cpu.system import System, SystemResult
+from ..errors import ConfigurationError
+from .base import Workload
+
+
+@dataclass
+class LmbenchLatency(Workload):
+    """Single-core dependent-load chain over a memory-sized array."""
+
+    array_bytes: int = 64 * 1024 * 1024
+    chase_ops: int = 4000
+    seed: int = 7
+    metric_name: str = "latency_ns"
+    higher_is_better: bool = False
+    name: str = "lmbench"
+
+    def __post_init__(self) -> None:
+        if self.chase_ops < 1:
+            raise ConfigurationError("chase_ops must be >= 1")
+
+    def attach(self, system: System) -> None:
+        system.add_workload(
+            0,
+            pointer_chase_ops(
+                self.array_bytes,
+                base_address=0,
+                seed=self.seed,
+                max_ops=self.chase_ops,
+            ),
+            mshrs=1,
+        )
+
+    def score(self, result: SystemResult) -> float:
+        """Mean load-to-use latency of the chain (nanoseconds)."""
+        latency = result.mean_pointer_chase_latency_ns
+        if latency <= 0:
+            raise ConfigurationError("run produced no dependent loads")
+        return latency
+
+
+def latency_vs_working_set(
+    system_factory,
+    sizes_bytes: tuple[int, ...] = (
+        32 * 1024,
+        256 * 1024,
+        4 * 1024 * 1024,
+        64 * 1024 * 1024,
+    ),
+    chase_ops: int = 3000,
+) -> dict[int, float]:
+    """The classic lat_mem_rd staircase: size -> mean latency.
+
+    Small working sets hit in cache (low plateaus); the largest plateau
+    is the unloaded memory latency.
+    """
+    results = {}
+    for size in sizes_bytes:
+        system = system_factory()
+        workload = LmbenchLatency(array_bytes=size, chase_ops=chase_ops)
+        results[size] = workload.run(system)
+    return results

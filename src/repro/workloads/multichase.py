@@ -1,0 +1,65 @@
+"""Google multichase analog.
+
+multichase runs one or more independent pointer chases; with one chaser
+it measures unloaded latency (like LMbench but with a different chain
+construction), with several it measures latency under self-induced
+load. The paper uses the single-chase mode for validation and the
+benchmark as the third member of the simulator-accuracy trio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.pointer_chase import pointer_chase_ops
+from ..cpu.system import System, SystemResult
+from ..errors import ConfigurationError
+from .base import Workload
+
+
+@dataclass
+class Multichase(Workload):
+    """``parallel_chases`` independent dependent-load chains.
+
+    Each chase walks its own array on its own core; the score is the
+    mean latency across chases — multichase's ``-t`` parallel mode.
+    """
+
+    array_bytes: int = 64 * 1024 * 1024
+    chase_ops: int = 4000
+    parallel_chases: int = 1
+    seed: int = 23
+    metric_name: str = "latency_ns"
+    higher_is_better: bool = False
+    name: str = "multichase"
+
+    def __post_init__(self) -> None:
+        if self.parallel_chases < 1:
+            raise ConfigurationError("parallel_chases must be >= 1")
+        if self.chase_ops < 1:
+            raise ConfigurationError("chase_ops must be >= 1")
+
+    def attach(self, system: System) -> None:
+        if self.parallel_chases > system.config.cores:
+            raise ConfigurationError(
+                f"{self.parallel_chases} chases need at least that many cores; "
+                f"system has {system.config.cores}"
+            )
+        for chase in range(self.parallel_chases):
+            system.add_workload(
+                chase,
+                pointer_chase_ops(
+                    self.array_bytes,
+                    base_address=chase * self.array_bytes,
+                    seed=self.seed + chase,
+                    max_ops=self.chase_ops,
+                ),
+                mshrs=1,
+            )
+
+    def score(self, result: SystemResult) -> float:
+        """Mean dependent-load latency across all chases."""
+        latency = result.mean_pointer_chase_latency_ns
+        if latency <= 0:
+            raise ConfigurationError("run produced no dependent loads")
+        return latency

@@ -1,0 +1,52 @@
+"""Unit tests for the pointer-chase latency probe."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.pointer_chase import pointer_chase_ops
+from repro.cpu.core import MemOp
+from repro.errors import BenchmarkError
+from repro.units import CACHE_LINE_BYTES
+
+
+class TestPointerChase:
+    def test_all_ops_are_dependent_loads(self):
+        ops = list(pointer_chase_ops(1 << 20, max_ops=50))
+        assert len(ops) == 50
+        assert all(isinstance(op, MemOp) for op in ops)
+        assert all(op.dependent and not op.is_store for op in ops)
+
+    def test_addresses_within_array(self):
+        array_bytes = 1 << 16
+        base = 1 << 30
+        ops = list(pointer_chase_ops(array_bytes, base_address=base, max_ops=200))
+        for op in ops:
+            assert base <= op.address < base + array_bytes
+            assert (op.address - base) % CACHE_LINE_BYTES == 0
+
+    def test_random_traversal_defeats_streak_detection(self):
+        ops = list(pointer_chase_ops(8 << 20, max_ops=500))
+        lines = [op.address // CACHE_LINE_BYTES for op in ops]
+        sequential = sum(
+            1 for a, b in zip(lines, lines[1:]) if b == a + 1
+        )
+        assert sequential < 10
+
+    def test_deterministic_by_seed(self):
+        a = [op.address for op in pointer_chase_ops(1 << 20, seed=3, max_ops=50)]
+        b = [op.address for op in pointer_chase_ops(1 << 20, seed=3, max_ops=50)]
+        c = [op.address for op in pointer_chase_ops(1 << 20, seed=4, max_ops=50)]
+        assert a == b
+        assert a != c
+
+    def test_infinite_stream_without_max(self):
+        stream = pointer_chase_ops(1 << 20)
+        taken = list(itertools.islice(stream, 10_000))
+        assert len(taken) == 10_000
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(BenchmarkError):
+            list(pointer_chase_ops(32, max_ops=1))

@@ -1,0 +1,110 @@
+"""Unit tests for the traffic generator and the write-allocate math."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.traffic_gen import (
+    TrafficGenConfig,
+    read_ratio_for_store_fraction,
+    store_fraction_for_read_ratio,
+    traffic_gen_ops,
+)
+from repro.cpu.core import Delay, MemOp
+from repro.errors import BenchmarkError
+
+
+class TestWriteAllocateMath:
+    @pytest.mark.parametrize(
+        "store_fraction,expected",
+        [(0.0, 1.0), (1.0, 0.5), (0.5, 2 / 3), (0.25, 0.8)],
+    )
+    def test_read_ratio(self, store_fraction, expected):
+        assert read_ratio_for_store_fraction(store_fraction) == pytest.approx(
+            expected
+        )
+
+    @pytest.mark.parametrize("store_fraction", [0.0, 0.3, 0.7, 1.0])
+    def test_roundtrip(self, store_fraction):
+        ratio = read_ratio_for_store_fraction(store_fraction)
+        assert store_fraction_for_read_ratio(ratio) == pytest.approx(
+            store_fraction
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(BenchmarkError):
+            read_ratio_for_store_fraction(1.5)
+        with pytest.raises(BenchmarkError):
+            store_fraction_for_read_ratio(0.3)
+
+
+class TestConfig:
+    def test_pause_scales_with_nops(self):
+        config = TrafficGenConfig(store_fraction=0.0, nop_count=100)
+        assert config.pause_ns == pytest.approx(100 * config.ns_per_nop)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            TrafficGenConfig(store_fraction=2.0, nop_count=0)
+        with pytest.raises(BenchmarkError):
+            TrafficGenConfig(store_fraction=0.5, nop_count=-1)
+        with pytest.raises(BenchmarkError):
+            TrafficGenConfig(store_fraction=0.5, nop_count=0, ops_per_burst=0)
+
+
+class TestStream:
+    def take(self, config, n, **kwargs):
+        stream = traffic_gen_ops(config, load_base=0, store_base=1 << 30, **kwargs)
+        return list(itertools.islice(stream, n))
+
+    def test_store_fraction_exact_per_burst(self):
+        config = TrafficGenConfig(store_fraction=0.5, nop_count=0, ops_per_burst=16)
+        ops = self.take(config, 16)
+        stores = sum(1 for op in ops if isinstance(op, MemOp) and op.is_store)
+        assert stores == 8
+
+    def test_pure_loads(self):
+        config = TrafficGenConfig(store_fraction=0.0, nop_count=0)
+        ops = self.take(config, 32)
+        assert all(isinstance(op, MemOp) and not op.is_store for op in ops)
+
+    def test_pure_stores(self):
+        config = TrafficGenConfig(store_fraction=1.0, nop_count=0)
+        ops = self.take(config, 32)
+        assert all(isinstance(op, MemOp) and op.is_store for op in ops)
+
+    def test_pause_follows_each_burst(self):
+        config = TrafficGenConfig(store_fraction=0.0, nop_count=10, ops_per_burst=4)
+        ops = self.take(config, 10)
+        assert isinstance(ops[4], Delay)
+        assert ops[4].ns == pytest.approx(config.pause_ns)
+
+    def test_addresses_sequential_and_separate(self):
+        config = TrafficGenConfig(store_fraction=0.5, nop_count=0, ops_per_burst=8)
+        ops = self.take(config, 16)
+        loads = [op.address for op in ops if not op.is_store]
+        stores = [op.address for op in ops if op.is_store]
+        assert loads == sorted(loads)
+        assert all(address >= (1 << 30) for address in stores)
+        # consecutive lines, 64 bytes apart
+        assert loads[1] - loads[0] == 64
+
+    def test_wraps_at_array_size(self):
+        config = TrafficGenConfig(
+            store_fraction=0.0, nop_count=0, array_bytes=4 * 64, ops_per_burst=4
+        )
+        ops = self.take(config, 8)
+        assert ops[4].address == ops[0].address
+
+    def test_initial_delay_phase_shift(self):
+        config = TrafficGenConfig(store_fraction=0.0, nop_count=5)
+        ops = self.take(config, 1, initial_delay_ns=123.0)
+        assert isinstance(ops[0], Delay)
+        assert ops[0].ns == 123.0
+
+    def test_ops_are_independent(self):
+        config = TrafficGenConfig(store_fraction=0.5, nop_count=0)
+        ops = self.take(config, 16)
+        assert all(not op.dependent for op in ops if isinstance(op, MemOp))

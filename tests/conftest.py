@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Simulation-backed tests use deliberately small configurations: few
+cores, short windows, small arrays. The goal of a test is to exercise a
+behaviour or invariant, not to regenerate a paper figure — the
+benchmark suite does that at full size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.curve import BandwidthLatencyCurve
+from repro.core.family import CurveFamily
+from repro.cpu.cache import CacheConfig, HierarchyConfig
+from repro.cpu.system import SystemConfig
+
+
+@pytest.fixture
+def simple_curve() -> BandwidthLatencyCurve:
+    """A clean monotone curve: flat start, knee, steep tail."""
+    return BandwidthLatencyCurve(
+        read_ratio=1.0,
+        bandwidth_gbps=[1, 20, 40, 60, 80, 95, 105, 110],
+        latency_ns=[90, 92, 95, 100, 115, 150, 240, 400],
+    )
+
+
+@pytest.fixture
+def waveform_curve() -> BandwidthLatencyCurve:
+    """A curve with a post-peak bandwidth decline (Section III)."""
+    return BandwidthLatencyCurve(
+        read_ratio=0.5,
+        bandwidth_gbps=[1, 30, 60, 85, 95, 92, 88, 85],
+        latency_ns=[100, 105, 120, 180, 320, 360, 400, 430],
+    )
+
+
+@pytest.fixture
+def small_family(simple_curve, waveform_curve) -> CurveFamily:
+    """Two-curve family covering both traffic compositions."""
+    return CurveFamily(
+        [simple_curve, waveform_curve],
+        name="test-platform",
+        theoretical_bandwidth_gbps=128.0,
+    )
+
+
+@pytest.fixture
+def tiny_hierarchy() -> HierarchyConfig:
+    """Small caches so working sets and warmups stay cheap."""
+    return HierarchyConfig(
+        l1=CacheConfig(8 * 1024, 4, 1.5),
+        l2=CacheConfig(32 * 1024, 4, 5.0),
+        l3=CacheConfig(128 * 1024, 8, 18.0),
+        noc_latency_ns=45.0,
+    )
+
+
+@pytest.fixture
+def tiny_system_config(tiny_hierarchy) -> SystemConfig:
+    """Four-core machine for fast full-system tests."""
+    return SystemConfig(
+        cores=4, hierarchy=tiny_hierarchy, issue_gap_ns=0.3, mshrs=8
+    )

@@ -1,0 +1,103 @@
+"""Unit tests for CurveBuilder post-processing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import CurveBuilder, _mad_mask, _median_smooth
+from repro.errors import BenchmarkError
+
+import numpy as np
+
+
+class TestValidation:
+    def test_invalid_threshold(self):
+        with pytest.raises(BenchmarkError):
+            CurveBuilder(outlier_mad_threshold=0)
+
+    def test_even_smooth_window(self):
+        with pytest.raises(BenchmarkError):
+            CurveBuilder(smooth_window=2)
+
+    def test_invalid_measurement(self):
+        builder = CurveBuilder()
+        with pytest.raises(BenchmarkError):
+            builder.add(1.0, 0, bandwidth_gbps=-1, latency_ns=10)
+        with pytest.raises(BenchmarkError):
+            builder.add(1.0, 0, bandwidth_gbps=1, latency_ns=0)
+
+    def test_build_empty(self):
+        with pytest.raises(BenchmarkError, match="no measurements"):
+            CurveBuilder().build()
+
+
+class TestAssembly:
+    def test_points_grouped_by_ratio_and_ordered_by_pressure(self):
+        builder = CurveBuilder(smooth_window=1)
+        # insert out of order; pressure -nops so higher nop = lower
+        for ratio in (1.0, 0.5):
+            builder.add(ratio, pressure=-100, bandwidth_gbps=10, latency_ns=100)
+            builder.add(ratio, pressure=0, bandwidth_gbps=90, latency_ns=200)
+            builder.add(ratio, pressure=-10, bandwidth_gbps=50, latency_ns=120)
+        family = builder.build()
+        assert family.read_ratios == [0.5, 1.0]
+        curve = family[1.0]
+        assert curve.bandwidth_gbps.tolist() == [10, 50, 90]
+        assert curve.latency_ns.tolist() == [100, 120, 200]
+
+    def test_repetitions_averaged(self):
+        builder = CurveBuilder(smooth_window=1)
+        builder.add(1.0, 0, 10.0, 100.0)
+        builder.add(1.0, 0, 12.0, 104.0)
+        family = builder.build()
+        assert family[1.0].bandwidth_gbps[0] == pytest.approx(11.0)
+        assert family[1.0].latency_ns[0] == pytest.approx(102.0)
+
+    def test_outlier_dropped(self):
+        builder = CurveBuilder(smooth_window=1)
+        for latency in (100, 101, 99, 100, 102, 5000):  # one wild outlier
+            builder.add(1.0, 0, 10.0, latency)
+        family = builder.build()
+        assert family[1.0].latency_ns[0] == pytest.approx(100.4, abs=0.5)
+
+    def test_metadata_forwarded(self):
+        builder = CurveBuilder(name="plat", theoretical_bandwidth_gbps=42.0)
+        builder.add(1.0, 0, 10, 100)
+        family = builder.build()
+        assert family.name == "plat"
+        assert family.theoretical_bandwidth_gbps == 42.0
+
+    def test_len_counts_raw_points(self):
+        builder = CurveBuilder()
+        builder.add(1.0, 0, 10, 100)
+        builder.add(1.0, 0, 10, 100)
+        assert len(builder) == 2
+
+
+class TestMadMask:
+    def test_small_samples_all_kept(self):
+        assert _mad_mask(np.array([1.0, 100.0]), 3.5).all()
+
+    def test_degenerate_mad_all_kept(self):
+        assert _mad_mask(np.array([5.0, 5.0, 5.0, 50.0 * 0 + 5.0]), 3.5).all()
+
+    def test_outlier_masked(self):
+        mask = _mad_mask(np.array([10.0, 11.0, 9.0, 10.0, 500.0]), 3.5)
+        assert mask.tolist() == [True, True, True, True, False]
+
+
+class TestMedianSmooth:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 9.0, 2.0])
+        assert _median_smooth(values, 1).tolist() == values.tolist()
+
+    def test_spike_removed(self):
+        values = np.array([1.0, 1.0, 50.0, 1.0, 1.0])
+        assert _median_smooth(values, 3).tolist() == [1.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_endpoints_preserved(self):
+        # symmetric shrinking windows: endpoints are their own median
+        values = np.array([10.0, 20.0, 30.0, 40.0, 100.0])
+        smoothed = _median_smooth(values, 3)
+        assert smoothed[0] == 10.0
+        assert smoothed[-1] == 100.0

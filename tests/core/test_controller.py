@@ -1,0 +1,77 @@
+"""Unit tests for the PI controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import PIController
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_bad_convergence_factor(self, factor):
+        with pytest.raises(ConfigurationError):
+            PIController(convergence_factor=factor)
+
+    def test_negative_integral_gain(self):
+        with pytest.raises(ConfigurationError):
+            PIController(integral_gain=-0.1)
+
+    def test_bad_integral_limit(self):
+        with pytest.raises(ConfigurationError):
+            PIController(integral_limit=0)
+
+
+class TestProportional:
+    def test_paper_update_rule(self):
+        controller = PIController(convergence_factor=0.5)
+        # messBW_{i+1} = messBW_i + 0.5 * (cpuBW_i - messBW_i)
+        assert controller.update(100.0, 200.0) == pytest.approx(150.0)
+
+    def test_unit_factor_jumps_to_observation(self):
+        controller = PIController(convergence_factor=1.0)
+        assert controller.update(10.0, 90.0) == pytest.approx(90.0)
+
+    def test_converges_to_constant_observation(self):
+        controller = PIController(convergence_factor=0.3)
+        estimate = 0.0
+        for _ in range(60):
+            estimate = controller.update(estimate, 80.0)
+        assert estimate == pytest.approx(80.0, rel=1e-3)
+
+    def test_no_overshoot_without_integral(self):
+        controller = PIController(convergence_factor=0.5)
+        estimate = 0.0
+        for _ in range(30):
+            estimate = controller.update(estimate, 50.0)
+            assert estimate <= 50.0 + 1e-9
+
+
+class TestIntegral:
+    def test_integral_accelerates_convergence(self):
+        plain = PIController(convergence_factor=0.1)
+        with_i = PIController(convergence_factor=0.1, integral_gain=0.05)
+        a = b = 0.0
+        for _ in range(5):
+            a = plain.update(a, 100.0)
+            b = with_i.update(b, 100.0)
+        assert b > a
+
+    def test_windup_clamped(self):
+        controller = PIController(
+            convergence_factor=0.1, integral_gain=1.0, integral_limit=10.0
+        )
+        estimate = 0.0
+        for _ in range(100):
+            estimate = controller.update(0.0, 1000.0)
+        # integral contribution bounded by gain * limit
+        assert estimate <= 0.1 * 1000.0 + 1.0 * 10.0 + 1e-9
+
+    def test_reset_clears_integral(self):
+        controller = PIController(convergence_factor=0.5, integral_gain=0.5)
+        controller.update(0.0, 100.0)
+        controller.reset()
+        # after reset, behaves like a fresh proportional+first-step update
+        fresh = PIController(convergence_factor=0.5, integral_gain=0.5)
+        assert controller.update(0.0, 40.0) == fresh.update(0.0, 40.0)

@@ -1,0 +1,144 @@
+"""Unit tests for CurveFamily."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.curve import BandwidthLatencyCurve
+from repro.core.family import CurveFamily
+from repro.errors import CurveError
+
+
+def make_family(**kwargs):
+    curves = [
+        BandwidthLatencyCurve(0.5, [1, 40, 80], [100, 130, 300]),
+        BandwidthLatencyCurve(1.0, [1, 60, 110], [90, 110, 250]),
+    ]
+    return CurveFamily(curves, **kwargs)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(CurveError, match="at least one"):
+            CurveFamily([])
+
+    def test_duplicate_ratios_rejected(self):
+        curve = BandwidthLatencyCurve(1.0, [1], [10])
+        with pytest.raises(CurveError, match="duplicate"):
+            CurveFamily([curve, curve])
+
+    def test_invalid_theoretical_bw_rejected(self):
+        curve = BandwidthLatencyCurve(1.0, [1], [10])
+        with pytest.raises(CurveError):
+            CurveFamily([curve], theoretical_bandwidth_gbps=-1)
+
+    def test_curves_sorted_by_ratio(self):
+        family = make_family()
+        assert family.read_ratios == [0.5, 1.0]
+
+
+class TestContainer:
+    def test_len_iter_contains(self):
+        family = make_family()
+        assert len(family) == 2
+        assert 0.5 in family
+        assert 0.7 not in family
+        assert {c.read_ratio for c in family} == {0.5, 1.0}
+
+    def test_getitem(self):
+        family = make_family()
+        assert family[1.0].read_ratio == 1.0
+        with pytest.raises(CurveError, match="no curve"):
+            family[0.7]
+
+
+class TestLookup:
+    def test_nearest(self):
+        family = make_family()
+        assert family.nearest(0.6).read_ratio == 0.5
+        assert family.nearest(0.9).read_ratio == 1.0
+
+    def test_nearest_invalid_ratio(self):
+        with pytest.raises(CurveError):
+            make_family().nearest(1.5)
+
+    def test_latency_interpolates_between_curves(self):
+        family = make_family()
+        at_half = family.latency_at(40, 0.5)
+        at_one = family.latency_at(40, 1.0)
+        mid = family.latency_at(40, 0.75)
+        assert min(at_half, at_one) <= mid <= max(at_half, at_one)
+        assert mid == pytest.approx((at_half + at_one) / 2, rel=1e-6)
+
+    def test_latency_clamps_outside_ratio_range(self):
+        family = make_family()
+        assert family.latency_at(40, 0.0) == family.latency_at(40, 0.5)
+
+    def test_nearest_mode(self):
+        family = make_family()
+        assert family.latency_at(40, 0.7, interpolate=False) == family.latency_at(
+            40, 0.5
+        )
+
+    def test_max_bandwidth_at_interpolates(self):
+        family = make_family()
+        assert family.max_bandwidth_at(0.75) == pytest.approx(95.0)
+
+    def test_aggregate_properties(self):
+        family = make_family()
+        assert family.unloaded_latency_ns == 90
+        assert family.max_bandwidth_gbps == 110
+
+
+class TestScaling:
+    def test_scaled_bandwidth(self):
+        family = make_family(theoretical_bandwidth_gbps=128.0)
+        scaled = family.scaled_bandwidth(0.5)
+        assert scaled.max_bandwidth_gbps == pytest.approx(55.0)
+        assert scaled.theoretical_bandwidth_gbps == pytest.approx(64.0)
+        # latencies untouched
+        assert scaled.unloaded_latency_ns == family.unloaded_latency_ns
+
+    def test_invalid_factor(self):
+        with pytest.raises(CurveError):
+            make_family().scaled_bandwidth(0)
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self, tmp_path):
+        family = make_family(name="rt", theoretical_bandwidth_gbps=128.0)
+        path = tmp_path / "curves.csv"
+        family.to_csv(path)
+        loaded = CurveFamily.from_csv(
+            path, name="rt", theoretical_bandwidth_gbps=128.0
+        )
+        assert loaded.read_ratios == family.read_ratios
+        for ratio in family.read_ratios:
+            assert loaded[ratio].latency_ns.tolist() == family[
+                ratio
+            ].latency_ns.tolist()
+
+    def test_csv_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(CurveError, match="missing columns"):
+            CurveFamily.from_csv(path)
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("read_ratio,bandwidth_gbps,latency_ns\n")
+        with pytest.raises(CurveError, match="no data"):
+            CurveFamily.from_csv(path)
+
+    def test_json_roundtrip(self, tmp_path):
+        family = make_family(name="json-rt", theoretical_bandwidth_gbps=64.0)
+        path = tmp_path / "family.json"
+        family.to_json(path)
+        loaded = CurveFamily.from_json(path)
+        assert loaded.name == "json-rt"
+        assert loaded.theoretical_bandwidth_gbps == 64.0
+        assert loaded.read_ratios == family.read_ratios
+
+    def test_malformed_dict(self):
+        with pytest.raises(CurveError, match="malformed"):
+            CurveFamily.from_dict({"curves": [{"bogus": 1}]})

@@ -1,0 +1,71 @@
+"""Unit tests for the Table I metric derivations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.curve import BandwidthLatencyCurve
+from repro.core.family import CurveFamily
+from repro.core.metrics import compute_metrics
+from repro.errors import CurveError
+
+
+@pytest.fixture
+def family():
+    return CurveFamily(
+        [
+            BandwidthLatencyCurve(0.5, [1, 40, 80, 90], [100, 140, 280, 390]),
+            BandwidthLatencyCurve(1.0, [1, 60, 100, 115], [90, 100, 180, 250]),
+        ],
+        name="metrics-test",
+        theoretical_bandwidth_gbps=128.0,
+    )
+
+
+class TestComputeMetrics:
+    def test_unloaded_is_family_minimum(self, family):
+        metrics = compute_metrics(family)
+        assert metrics.unloaded_latency_ns == 90
+
+    def test_max_latency_range_spans_curves(self, family):
+        metrics = compute_metrics(family)
+        assert metrics.max_latency_min_ns == 250
+        assert metrics.max_latency_max_ns == 390
+
+    def test_saturated_bw_range(self, family):
+        metrics = compute_metrics(family)
+        # lower bound: earliest saturation onset over all curves, which
+        # belongs to the write-heavy curve; upper: best peak bandwidth
+        assert metrics.saturated_bw_min_gbps < 90
+        assert metrics.saturated_bw_max_gbps == 115
+
+    def test_percent_metrics(self, family):
+        metrics = compute_metrics(family)
+        assert metrics.saturated_bw_max_pct == pytest.approx(100 * 115 / 128)
+
+    def test_percent_without_theoretical_raises(self):
+        family = CurveFamily(
+            [BandwidthLatencyCurve(1.0, [1, 50, 100], [90, 120, 300])]
+        )
+        metrics = compute_metrics(family)
+        with pytest.raises(CurveError, match="theoretical"):
+            _ = metrics.saturated_bw_min_pct
+
+    def test_waveform_census(self, family):
+        metrics = compute_metrics(family)
+        assert metrics.waveform_curves == 0
+
+    def test_waveform_counted(self):
+        family = CurveFamily(
+            [
+                BandwidthLatencyCurve(
+                    0.5, [1, 50, 90, 86, 82, 80], [100, 150, 300, 330, 360, 390]
+                )
+            ]
+        )
+        assert compute_metrics(family).waveform_curves == 1
+
+    def test_custom_saturation_factor(self, family):
+        strict = compute_metrics(family, saturation_factor=1.5)
+        loose = compute_metrics(family, saturation_factor=3.0)
+        assert strict.saturated_bw_min_gbps < loose.saturated_bw_min_gbps

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import CurveBuilder
+from repro.core.controller import PIController
+from repro.core.curve import BandwidthLatencyCurve
+from repro.core.family import CurveFamily
+from repro.core.stress import default_scorer
+
+
+@st.composite
+def curves(draw):
+    """Random valid curves: positive latencies, non-negative bandwidths."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    bandwidths = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    latencies = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=5000.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    ratio = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    return BandwidthLatencyCurve(ratio, bandwidths, latencies)
+
+
+@st.composite
+def monotone_curves(draw):
+    """Curves where both coordinates increase along the pressure axis."""
+    n = draw(st.integers(min_value=3, max_value=16))
+    bw_steps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    lat_steps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    bandwidths = np.cumsum(bw_steps)
+    latencies = 50.0 + np.cumsum(lat_steps)
+    return BandwidthLatencyCurve(1.0, bandwidths, latencies)
+
+
+class TestCurveProperties:
+    @given(curve=curves(), bandwidth=st.floats(min_value=0, max_value=4000))
+    @settings(max_examples=100, deadline=None)
+    def test_interpolated_latency_within_observed_range(self, curve, bandwidth):
+        latency = curve.latency_at(bandwidth)
+        assert curve.latency_ns.min() - 1e-9 <= latency <= curve.latency_ns.max() + 1e-9
+
+    @given(curve=curves())
+    @settings(max_examples=100, deadline=None)
+    def test_saturation_onset_never_exceeds_peak(self, curve):
+        assert (
+            curve.saturation_bandwidth_gbps()
+            <= curve.max_bandwidth_gbps + 1e-9
+        )
+
+    @given(curve=monotone_curves())
+    @settings(max_examples=60, deadline=None)
+    def test_interpolation_monotone_for_monotone_curves(self, curve):
+        grid = np.linspace(0, curve.max_bandwidth_gbps, 30)
+        latencies = [curve.latency_at(float(b)) for b in grid]
+        assert all(
+            later >= earlier - 1e-6
+            for earlier, later in zip(latencies, latencies[1:])
+        )
+
+    @given(curve=monotone_curves())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_curves_have_no_waveform(self, curve):
+        assert not curve.has_waveform()
+
+
+class TestFamilyProperties:
+    @given(
+        curve=monotone_curves(),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+        bandwidth=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_interpolated_family_latency_between_member_curves(
+        self, curve, ratio, bandwidth
+    ):
+        other = BandwidthLatencyCurve(
+            0.5 if curve.read_ratio != 0.5 else 0.6,
+            curve.bandwidth_gbps,
+            curve.latency_ns * 1.5,
+        )
+        family = CurveFamily([curve, other])
+        value = family.latency_at(bandwidth, ratio)
+        bounds = sorted(
+            (
+                curve.latency_at(bandwidth),
+                other.latency_at(bandwidth),
+            )
+        )
+        assert bounds[0] - 1e-6 <= value <= bounds[1] + 1e-6
+
+    @given(curve=monotone_curves())
+    @settings(max_examples=40, deadline=None)
+    def test_stress_score_always_in_unit_interval(self, curve):
+        family = CurveFamily([curve])
+        scorer = default_scorer(family)
+        for fraction in (0.0, 0.3, 0.7, 1.0, 1.5):
+            score = scorer.score(fraction * curve.max_bandwidth_gbps, 1.0)
+            assert 0.0 <= score <= 1.0
+
+
+class TestBuilderProperties:
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=200.0),  # bandwidth
+                st.floats(min_value=1.0, max_value=1000.0),  # latency
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_builder_never_invents_out_of_range_values(self, points):
+        builder = CurveBuilder(smooth_window=3)
+        for pressure, (bandwidth, latency) in enumerate(points):
+            builder.add(1.0, pressure, bandwidth, latency)
+        family = builder.build()
+        curve = family[1.0]
+        bandwidths = [p[0] for p in points]
+        latencies = [p[1] for p in points]
+        assert curve.bandwidth_gbps.min() >= min(bandwidths) - 1e-9
+        assert curve.bandwidth_gbps.max() <= max(bandwidths) + 1e-9
+        assert curve.latency_ns.min() >= min(latencies) - 1e-9
+        assert curve.latency_ns.max() <= max(latencies) + 1e-9
+
+
+class TestControllerProperties:
+    @given(
+        factor=st.floats(min_value=0.05, max_value=1.0),
+        target=st.floats(min_value=1.0, max_value=500.0),
+        start=st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_proportional_controller_converges(self, factor, target, start):
+        controller = PIController(convergence_factor=factor)
+        estimate = start
+        for _ in range(400):
+            estimate = controller.update(estimate, target)
+        assert abs(estimate - target) <= max(1e-6, 0.05 * target)
+
+    @given(
+        factor=st.floats(min_value=0.05, max_value=1.0),
+        target=st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_shrinks_monotonically(self, factor, target):
+        controller = PIController(convergence_factor=factor)
+        estimate = 0.0
+        previous_error = abs(target - estimate)
+        for _ in range(20):
+            estimate = controller.update(estimate, target)
+            error = abs(target - estimate)
+            assert error <= previous_error + 1e-9
+            previous_error = error

@@ -1,0 +1,93 @@
+"""Unit tests for the memory stress score (Section VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stress import StressScorer, default_scorer
+from repro.errors import ProfilingError
+
+
+class TestScoreBounds:
+    def test_unloaded_scores_near_zero(self, small_family):
+        scorer = default_scorer(small_family)
+        assert scorer.score(0.5, 1.0) < 0.1
+
+    def test_saturated_scores_high(self, small_family):
+        scorer = default_scorer(small_family)
+        peak = small_family[1.0].max_bandwidth_gbps
+        assert scorer.score(peak, 1.0) > 0.7
+
+    def test_score_in_unit_interval(self, small_family):
+        scorer = default_scorer(small_family)
+        for bw in (0, 10, 50, 90, 105, 150, 500):
+            for ratio in (0.5, 0.75, 1.0):
+                assert 0.0 <= scorer.score(bw, ratio) <= 1.0
+
+    def test_score_monotone_along_curve(self, small_family):
+        scorer = default_scorer(small_family)
+        peak = small_family[1.0].max_bandwidth_gbps
+        scores = [scorer.score(f * peak, 1.0) for f in (0.1, 0.5, 0.8, 0.99)]
+        assert scores == sorted(scores)
+
+    def test_negative_bandwidth_rejected(self, small_family):
+        with pytest.raises(ProfilingError):
+            default_scorer(small_family).score(-1, 1.0)
+
+    def test_beyond_peak_still_maximally_stressed(self, small_family):
+        # interpolation clamps to a plateau past the peak; the stress
+        # score must not relax there (the fix behind Figure 16's
+        # head/tail ordering)
+        scorer = default_scorer(small_family)
+        peak = small_family[1.0].max_bandwidth_gbps
+        assert scorer.score(1.2 * peak, 1.0) >= scorer.score(0.95 * peak, 1.0)
+
+
+class TestComponents:
+    def test_latency_component_normalized(self, small_family):
+        scorer = default_scorer(small_family)
+        assert scorer.latency_component(0.0, 1.0) == pytest.approx(0.0, abs=1e-6)
+        peak = small_family[1.0].max_bandwidth_gbps
+        assert scorer.latency_component(peak, 1.0) == pytest.approx(1.0)
+
+    def test_inclination_component_bounded(self, small_family):
+        scorer = default_scorer(small_family)
+        for bw in (1, 50, 100, 200):
+            assert 0.0 <= scorer.inclination_component(bw, 1.0) < 1.0
+
+
+class TestConfiguration:
+    def test_negative_weights_rejected(self, small_family):
+        with pytest.raises(ProfilingError):
+            StressScorer(small_family, latency_weight=-1)
+
+    def test_zero_weights_rejected(self, small_family):
+        with pytest.raises(ProfilingError):
+            StressScorer(
+                small_family, latency_weight=0.0, inclination_weight=0.0
+            )
+
+    def test_invalid_scale_rejected(self, small_family):
+        with pytest.raises(ProfilingError):
+            StressScorer(small_family, inclination_scale_ns_per_gbps=0.0)
+
+    def test_latency_only_scorer(self, small_family):
+        scorer = StressScorer(
+            small_family, latency_weight=1.0, inclination_weight=0.0
+        )
+        peak = small_family[1.0].max_bandwidth_gbps
+        assert scorer.score(peak, 1.0) == pytest.approx(
+            scorer.latency_component(peak, 1.0)
+        )
+
+
+class TestGradient:
+    def test_buckets(self, small_family):
+        scorer = default_scorer(small_family)
+        assert scorer.gradient_color(0.1) == "green"
+        assert scorer.gradient_color(0.5) == "yellow"
+        assert scorer.gradient_color(0.9) == "red"
+
+    def test_out_of_range_rejected(self, small_family):
+        with pytest.raises(ProfilingError):
+            default_scorer(small_family).gradient_color(1.2)

@@ -1,0 +1,132 @@
+"""Unit tests for the set-associative cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.cache import Cache, CacheConfig, HierarchyConfig
+from repro.errors import ConfigurationError
+
+
+def make_cache(size=4096, ways=4, latency=1.0):
+    return Cache("T", size, ways, latency)
+
+
+class TestGeometry:
+    def test_sets_derived(self):
+        cache = make_cache(size=4096, ways=4)  # 64 lines, 4 ways
+        assert cache.num_sets == 16
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cache("T", 32, 1, 1.0)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cache("T", 3 * 64, 2, 1.0)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ConfigurationError):
+            Cache("T", 4096, 0, 1.0)
+
+
+class TestHitMiss:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        assert not cache.access(0, is_store=False).hit
+        assert cache.access(0, is_store=False).hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = make_cache()
+        cache.access(0, is_store=False)
+        assert cache.access(63, is_store=False).hit
+
+    def test_lru_eviction_order(self):
+        cache = Cache("T", 2 * 64, 2, 1.0)  # one set, two ways
+        cache.access(0 * 64, False)
+        cache.access(1 * 64, False)
+        cache.access(0 * 64, False)  # refresh line 0
+        outcome = cache.access(2 * 64, False)  # evicts line 1 (LRU)
+        assert outcome.clean_eviction_address == 1 * 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+
+class TestWritePolicy:
+    def test_store_marks_dirty_and_evicts_as_writeback(self):
+        cache = Cache("T", 2 * 64, 2, 1.0)
+        cache.access(0, is_store=True)
+        cache.access(64, is_store=False)
+        outcome = cache.access(128, is_store=False)  # evicts dirty line 0
+        assert outcome.writeback_address == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_reported_separately(self):
+        cache = Cache("T", 2 * 64, 2, 1.0)
+        cache.access(0, is_store=False)
+        cache.access(64, is_store=False)
+        outcome = cache.access(128, is_store=False)
+        assert outcome.writeback_address is None
+        assert outcome.clean_eviction_address == 0
+        assert cache.stats.clean_evictions == 1
+
+    def test_store_hit_dirties_resident_line(self):
+        cache = Cache("T", 2 * 64, 2, 1.0)
+        cache.access(0, is_store=False)  # clean
+        cache.access(0, is_store=True)  # now dirty
+        cache.access(64, is_store=False)
+        outcome = cache.access(128, is_store=False)
+        assert outcome.writeback_address == 0
+
+
+class TestPriming:
+    def test_install_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.install(0, dirty=True)
+        assert cache.stats.accesses == 0
+        assert cache.contains(0)
+
+    def test_fill_with_scratch_full_dirty(self):
+        cache = Cache("T", 4 * 64, 2, 1.0)
+        installed = cache.fill_with_scratch(1 << 20, dirty_fraction=1.0)
+        assert installed == 4
+        outcome = cache.access(0, is_store=False)
+        assert outcome.writeback_address is not None
+
+    def test_fill_with_scratch_fraction(self):
+        cache = Cache("T", 64 * 64, 4, 1.0)
+        cache.fill_with_scratch(1 << 20, dirty_fraction=0.5)
+        writebacks = 0
+        clean = 0
+        for line in range(64):
+            outcome = cache.access(line * 64, is_store=False)
+            if outcome.writeback_address is not None:
+                writebacks += 1
+            if outcome.clean_eviction_address is not None:
+                clean += 1
+        assert writebacks + clean == 64
+        assert writebacks == pytest.approx(32, abs=4)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cache().fill_with_scratch(0, dirty_fraction=1.5)
+
+    def test_reset_clears_contents(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.reset()
+        assert not cache.contains(0)
+        assert cache.stats.accesses == 0
+
+
+class TestHierarchyConfig:
+    def test_total_hit_path(self):
+        config = HierarchyConfig(
+            l1=CacheConfig(1024, 2, 1.0),
+            l2=CacheConfig(2048, 2, 4.0),
+            l3=CacheConfig(4096, 2, 10.0),
+            noc_latency_ns=45.0,
+        )
+        assert config.total_hit_path_ns == 60.0

@@ -1,0 +1,119 @@
+"""Unit tests for cores and the System wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.core import Delay, MemOp
+from repro.cpu.system import System, SystemConfig, SystemResult
+from repro.errors import ConfigurationError, SimulationError
+from repro.memmodels.fixed import FixedLatencyModel
+
+
+def ops_list(items):
+    return iter(items)
+
+
+class TestCoreExecution:
+    def test_dependent_loads_serialize(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel(latency_ns=100.0))
+        chain = [MemOp(i * (1 << 20), dependent=True) for i in range(5)]
+        core = system.add_workload(0, ops_list(chain), mshrs=1)
+        result = system.run()
+        # each load: full miss path (69.5 overhead + 100 memory)
+        assert core.stats.dependent_loads == 5
+        assert result.duration_ns == pytest.approx(5 * 169.5, rel=0.01)
+
+    def test_independent_loads_overlap(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel(latency_ns=100.0))
+        ops = [MemOp(i * (1 << 20)) for i in range(8)]
+        system.add_workload(0, ops_list(ops), mshrs=8)
+        result = system.run()
+        # all eight overlap: total ~ one latency + issue gaps
+        assert result.duration_ns < 2 * 169.5
+
+    def test_mshr_limit_caps_overlap(self, tiny_system_config):
+        def run_with(mshrs):
+            system = System(
+                tiny_system_config, FixedLatencyModel(latency_ns=100.0)
+            )
+            ops = [MemOp(i * (1 << 20)) for i in range(16)]
+            system.add_workload(0, ops_list(ops), mshrs=mshrs)
+            return system.run().duration_ns
+
+        assert run_with(2) > run_with(8)
+
+    def test_delay_advances_time(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        system.add_workload(0, ops_list([Delay(500.0)]))
+        result = system.run()
+        assert result.duration_ns == pytest.approx(500.0)
+
+    def test_mean_dependent_latency(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel(latency_ns=80.0))
+        chain = [MemOp(i * (1 << 20), dependent=True) for i in range(4)]
+        system.add_workload(0, ops_list(chain), mshrs=1)
+        result = system.run()
+        assert result.mean_pointer_chase_latency_ns == pytest.approx(
+            149.5, rel=0.01
+        )
+
+    def test_stores_counted(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        ops = [MemOp(0, is_store=True), MemOp(1 << 20)]
+        core = system.add_workload(0, ops_list(ops))
+        system.run()
+        assert core.stats.stores == 1
+        assert core.stats.loads == 1
+
+
+class TestSystemConfig:
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(cores=0)
+
+    def test_in_order_forces_two_mshrs(self):
+        config = SystemConfig(cores=2, in_order=True, mshrs=16)
+        assert config.effective_mshrs == 2
+
+    def test_in_order_disables_prefetch(self, tiny_hierarchy):
+        config = SystemConfig(
+            cores=2, hierarchy=tiny_hierarchy, in_order=True, prefetch_lines=8
+        )
+        system = System(config, FixedLatencyModel())
+        assert system.hierarchy.prefetch_lines == 0
+
+
+class TestSystemWiring:
+    def test_duplicate_core_rejected(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        system.add_workload(0, ops_list([MemOp(0)]))
+        with pytest.raises(ConfigurationError, match="already has"):
+            system.add_workload(0, ops_list([MemOp(0)]))
+
+    def test_core_index_out_of_range(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        with pytest.raises(ConfigurationError, match="out of range"):
+            system.add_workload(99, ops_list([MemOp(0)]))
+
+    def test_run_without_workloads_rejected(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        with pytest.raises(SimulationError, match="no workloads"):
+            system.run()
+
+    def test_result_reports_memory_stats(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        ops = [MemOp(i * (1 << 20)) for i in range(6)]
+        system.add_workload(0, ops_list(ops))
+        result = system.run()
+        assert isinstance(result, SystemResult)
+        assert result.memory_reads == 6
+        assert result.memory_read_ratio == 1.0
+        assert result.events > 0
+
+    def test_time_bounded_run(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel(latency_ns=50))
+        infinite = (MemOp((i % 100) * (1 << 20)) for i in iter(int, 1))
+        system.add_workload(0, infinite)
+        result = system.run(until_ns=1000.0)
+        assert result.duration_ns == pytest.approx(1000.0)

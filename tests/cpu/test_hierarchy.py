@@ -1,0 +1,147 @@
+"""Unit tests for the cache hierarchy and its memory traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.cache import CacheConfig, HierarchyConfig
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.errors import ConfigurationError
+from repro.memmodels.fixed import FixedLatencyModel
+
+
+@pytest.fixture
+def config():
+    return HierarchyConfig(
+        l1=CacheConfig(1024, 2, 1.0),
+        l2=CacheConfig(4096, 2, 4.0),
+        l3=CacheConfig(16384, 4, 10.0),
+        noc_latency_ns=45.0,
+    )
+
+
+def make_hierarchy(config, prefetch=0, **kwargs):
+    memory = FixedLatencyModel(latency_ns=50.0)
+    hierarchy = MemoryHierarchy(
+        cores=2, config=config, memory=memory, prefetch_lines=prefetch, **kwargs
+    )
+    return hierarchy, memory
+
+
+class TestMissPath:
+    def test_cold_miss_goes_to_memory(self, config):
+        hierarchy, memory = make_hierarchy(config)
+        access = hierarchy.access(0, 0, is_store=False, now_ns=0.0)
+        assert access.level == "MEM"
+        assert access.latency_ns == 1.0 + 4.0 + 10.0 + 45.0 + 50.0
+        assert memory.stats.reads == 1
+
+    def test_l1_hit_after_fill(self, config):
+        hierarchy, memory = make_hierarchy(config)
+        hierarchy.access(0, 0, False, 0.0)
+        access = hierarchy.access(0, 0, False, 1.0)
+        assert access.level == "L1"
+        assert access.latency_ns == 1.0
+        assert memory.stats.reads == 1
+
+    def test_private_l1_per_core(self, config):
+        hierarchy, _ = make_hierarchy(config)
+        hierarchy.access(0, 0, False, 0.0)
+        # same line from the other core misses its own L1/L2 but hits L3
+        access = hierarchy.access(1, 0, False, 1.0)
+        assert access.level == "L3"
+
+    def test_negative_address_rejected(self, config):
+        hierarchy, _ = make_hierarchy(config)
+        with pytest.raises(ConfigurationError):
+            hierarchy.access(0, -64, False, 0.0)
+
+    def test_invalid_core_count(self, config):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(0, config, FixedLatencyModel())
+
+
+class TestWriteAllocate:
+    def test_store_miss_is_memory_read(self, config):
+        """A store becomes an RFO read; the write comes at eviction."""
+        hierarchy, memory = make_hierarchy(config)
+        hierarchy.access(0, 0, is_store=True, now_ns=0.0)
+        assert memory.stats.reads == 1
+        assert memory.stats.writes == 0
+
+    def test_dirty_line_eventually_written_back(self, config):
+        hierarchy, memory = make_hierarchy(config)
+        hierarchy.access(0, 0, is_store=True, now_ns=0.0)
+        # stream enough distinct lines to flush line 0 out of all levels
+        for i in range(1, 600):
+            hierarchy.access(0, i * 64, is_store=False, now_ns=float(i))
+        assert memory.stats.writes >= 1
+
+    def test_store_stream_approaches_half_read_half_write(self, config):
+        hierarchy, memory = make_hierarchy(config)
+        hierarchy.prime_write_steady_state(dirty_fraction=1.0)
+        for i in range(800):
+            hierarchy.access(0, i * 64, is_store=True, now_ns=float(i))
+        assert memory.stats.read_ratio == pytest.approx(0.5, abs=0.02)
+
+
+class TestCoherencyFault:
+    def test_clean_evictions_written_back_when_faulty(self, config):
+        correct, correct_memory = make_hierarchy(config)
+        faulty, faulty_memory = make_hierarchy(
+            config, writeback_clean_lines=True
+        )
+        for hierarchy in (correct, faulty):
+            for i in range(600):
+                hierarchy.access(0, i * 64, is_store=False, now_ns=float(i))
+        assert correct_memory.stats.writes == 0
+        assert faulty_memory.stats.writes > 0
+
+
+class TestPrefetcher:
+    def test_sequential_misses_trigger_prefetch(self, config):
+        hierarchy, memory = make_hierarchy(config, prefetch=4)
+        hierarchy.access(0, 0, False, 0.0)
+        hierarchy.access(0, 64, False, 1.0)  # streak detected here
+        assert hierarchy.prefetches_issued == 4
+        assert memory.stats.reads == 2 + 4
+
+    def test_prefetched_lines_hit_in_l3(self, config):
+        hierarchy, _ = make_hierarchy(config, prefetch=4)
+        hierarchy.access(0, 0, False, 0.0)
+        hierarchy.access(0, 64, False, 1.0)
+        access = hierarchy.access(0, 128, False, 2.0)
+        assert access.level == "L3"
+
+    def test_random_pattern_never_prefetches(self, config):
+        hierarchy, _ = make_hierarchy(config, prefetch=4)
+        for i, line in enumerate((10, 500, 33, 801, 7, 299)):
+            hierarchy.access(0, line * 64, False, float(i))
+        assert hierarchy.prefetches_issued == 0
+
+    def test_interleaved_streams_both_tracked(self, config):
+        hierarchy, _ = make_hierarchy(config, prefetch=2)
+        base_a, base_b = 0, 1 << 20
+        for i in range(3):
+            hierarchy.access(0, base_a + i * 64, False, float(2 * i))
+            hierarchy.access(0, base_b + i * 64, False, float(2 * i + 1))
+        # both streams produce streaks despite interleaving
+        assert hierarchy.prefetches_issued >= 4
+
+    def test_throttled_under_congestion(self, config):
+        hierarchy, _ = make_hierarchy(config, prefetch=4)
+        hierarchy._miss_latency_ewma = 10_000.0
+        hierarchy.access(0, 0, False, 0.0)
+        hierarchy.access(0, 64, False, 1.0)
+        assert hierarchy.prefetches_issued == 0
+        assert hierarchy.prefetches_throttled == 1
+
+    def test_zero_degree_disables(self, config):
+        hierarchy, _ = make_hierarchy(config, prefetch=0)
+        hierarchy.access(0, 0, False, 0.0)
+        hierarchy.access(0, 64, False, 1.0)
+        assert hierarchy.prefetches_issued == 0
+
+    def test_negative_degree_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(1, config, FixedLatencyModel(), prefetch_lines=-1)

@@ -1,0 +1,98 @@
+"""Unit tests for the address mapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.timing import DDR4_2666
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DDR4_2666, channels=4, bank_hash=False)
+
+
+class TestDecode:
+    def test_line_interleave_rotates_channels(self, mapper):
+        channels = [mapper.decode(i * 64).channel for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_coordinates(self, mapper):
+        assert mapper.decode(64) == mapper.decode(127)
+
+    def test_columns_advance_within_row(self, mapper):
+        # successive lines on one channel advance the column
+        decoded = [mapper.decode((i * 4) * 64) for i in range(4)]
+        assert all(d.channel == 0 for d in decoded)
+        assert [d.column for d in decoded] == [0, 1, 2, 3]
+        assert len({(d.rank, d.bank, d.row) for d in decoded}) == 1
+
+    def test_row_changes_after_row_bytes(self, mapper):
+        lines_per_row = DDR4_2666.row_bytes // 64
+        first = mapper.decode(0)
+        later = mapper.decode(lines_per_row * 4 * 64)  # 4 channels
+        assert (later.bank, later.row) != (first.bank, first.row)
+
+    def test_fields_in_range(self, mapper):
+        for address in range(0, 1 << 22, 8191 * 64):
+            decoded = mapper.decode(address)
+            assert 0 <= decoded.channel < 4
+            assert 0 <= decoded.rank < DDR4_2666.ranks
+            assert 0 <= decoded.bank < DDR4_2666.banks_per_rank
+            assert 0 <= decoded.column < DDR4_2666.row_bytes // 64
+
+    def test_negative_address_rejected(self, mapper):
+        with pytest.raises(ConfigurationError):
+            mapper.decode(-64)
+
+
+class TestBankHash:
+    def test_hash_spreads_power_of_two_strides(self):
+        plain = AddressMapper(DDR4_2666, channels=6, bank_hash=False)
+        hashed = AddressMapper(DDR4_2666, channels=6, bank_hash=True)
+        stride = 8 * 1024 * 1024  # the layout that piled onto 3 banks
+        plain_banks = {
+            (d.rank, d.bank)
+            for d in (plain.decode(i * stride) for i in range(16))
+        }
+        hashed_banks = {
+            (d.rank, d.bank)
+            for d in (hashed.decode(i * stride) for i in range(16))
+        }
+        assert len(hashed_banks) > len(plain_banks)
+
+    def test_hash_preserves_row_and_column(self):
+        plain = AddressMapper(DDR4_2666, channels=6, bank_hash=False)
+        hashed = AddressMapper(DDR4_2666, channels=6, bank_hash=True)
+        for address in (0, 4096, 1 << 20, 123 * 64):
+            a, b = plain.decode(address), hashed.decode(address)
+            assert (a.channel, a.rank, a.row, a.column) == (
+                b.channel,
+                b.rank,
+                b.row,
+                b.column,
+            )
+
+    def test_hash_is_deterministic(self):
+        mapper = AddressMapper(DDR4_2666, channels=6)
+        assert mapper.decode(12345 * 64) == mapper.decode(12345 * 64)
+
+
+class TestInterleaveGranularity:
+    def test_coarse_interleave_keeps_runs_on_one_channel(self):
+        mapper = AddressMapper(DDR4_2666, channels=4, interleave_bytes=512)
+        channels = [mapper.decode(i * 64).channel for i in range(16)]
+        assert channels[:8] == [0] * 8
+        assert channels[8:16] == [1] * 8
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(DDR4_2666, channels=2, interleave_bytes=32)
+        with pytest.raises(ConfigurationError):
+            AddressMapper(DDR4_2666, channels=2, interleave_bytes=96)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(DDR4_2666, channels=0)

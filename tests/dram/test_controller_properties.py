@@ -1,0 +1,124 @@
+"""Property-based tests on DRAM controller and simulator invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.simulator import MessMemorySimulator
+from repro.dram.controller import DramController
+from repro.dram.timing import DDR4_2666, DDR5_4800
+from repro.platforms.presets import INTEL_SKYLAKE, family
+from repro.request import AccessType, MemoryRequest
+
+
+@st.composite
+def request_streams(draw):
+    """Random time-ordered request streams."""
+    n = draw(st.integers(min_value=5, max_value=120))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    addresses = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 28),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    now = 0.0
+    requests = []
+    for gap, address, is_write in zip(gaps, addresses, writes):
+        now += gap
+        requests.append(
+            MemoryRequest(
+                (address // 64) * 64,
+                AccessType.WRITE if is_write else AccessType.READ,
+                now,
+            )
+        )
+    return requests
+
+
+class TestControllerInvariants:
+    @given(requests=request_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_completion_never_precedes_issue(self, requests):
+        controller = DramController(DDR4_2666, channels=2)
+        for request in requests:
+            result = controller.submit(request)
+            assert result.completion_ns >= request.issue_time_ns
+            assert result.start_ns >= request.issue_time_ns - 1e-9
+
+    @given(requests=request_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_stats_account_every_request(self, requests):
+        controller = DramController(DDR5_4800, channels=3)
+        for request in requests:
+            controller.submit(request)
+        stats = controller.stats
+        assert stats.reads + stats.writes == len(requests)
+        assert stats.reads == sum(
+            1 for r in requests if r.access_type is AccessType.READ
+        )
+
+    @given(requests=request_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_read_latency_at_least_device_minimum(self, requests):
+        controller = DramController(DDR4_2666, channels=2)
+        floor = DDR4_2666.tCL + DDR4_2666.tBURST
+        for request in requests:
+            result = controller.submit(request)
+            if request.access_type is AccessType.READ:
+                assert result.latency_ns >= floor - 1e-9
+
+
+class TestSimulatorInvariants:
+    @given(
+        gap=st.floats(min_value=0.2, max_value=50.0),
+        write_every=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_latency_always_within_family_bounds(self, gap, write_every):
+        curves = family(INTEL_SKYLAKE)
+        simulator = MessMemorySimulator(curves, window_ops=100)
+        lower = 0.0  # the capacity pipe can only add, never subtract
+        upper = max(c.max_latency_ns for c in curves)
+        now = 0.0
+        for index in range(1200):
+            is_write = write_every and index % (write_every + 1) == write_every
+            latency = simulator.access(
+                MemoryRequest(
+                    (index % 4096) * 64,
+                    AccessType.WRITE if is_write else AccessType.READ,
+                    now,
+                )
+            )
+            assert latency >= simulator.min_latency_ns - 1e-9
+            assert latency >= lower
+            now += gap
+        # below saturation the latency must stay within the curve range
+        if 64.0 / gap < 0.5 * curves.max_bandwidth_gbps:
+            assert simulator.current_latency_ns <= upper
+
+    @given(gap=st.floats(min_value=0.2, max_value=20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_position_estimate_is_non_negative_and_bounded(self, gap):
+        curves = family(INTEL_SKYLAKE)
+        simulator = MessMemorySimulator(curves, window_ops=100)
+        now = 0.0
+        for index in range(2000):
+            simulator.access(
+                MemoryRequest((index % 4096) * 64, AccessType.READ, now)
+            )
+            now += gap
+            assert simulator.current_position_gbps >= 0.0
+        # the estimate tracks the *offered* rate (the windows measure
+        # arrival bandwidth; with an open-loop driver the capacity pipe
+        # bounds completions, not arrivals), with cold-start headroom
+        offered = 64.0 / gap
+        assert simulator.current_position_gbps <= 1.5 * offered + 5.0

@@ -1,0 +1,73 @@
+"""Unit tests for DRAM timing presets."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.dram.timing import (
+    DDR4_2666,
+    DDR5_4800,
+    HBM2,
+    PRESETS,
+    DramTiming,
+    preset,
+)
+from repro.errors import ConfigurationError
+from repro.units import ddr_rate_to_gbps
+
+
+class TestPresets:
+    def test_all_presets_registered(self):
+        assert {"DDR4-2666", "DDR4-3200", "DDR5-4800", "DDR5-5600", "HBM2", "HBM2E"} <= set(
+            PRESETS
+        )
+
+    def test_lookup(self):
+        assert preset("DDR4-2666") is DDR4_2666
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown DRAM preset"):
+            preset("DDR9-9999")
+
+    def test_ddr4_channel_peak(self):
+        assert DDR4_2666.channel_peak_gbps == pytest.approx(
+            ddr_rate_to_gbps(2666)
+        )
+
+    def test_burst_time_matches_peak(self):
+        # one 64-byte line at the channel's peak rate
+        assert DDR4_2666.tBURST == pytest.approx(64 / DDR4_2666.channel_peak_gbps)
+        assert HBM2.tBURST == pytest.approx(2.0)
+
+    def test_total_banks(self):
+        assert DDR4_2666.total_banks == 32
+        assert DDR5_4800.total_banks == 64
+
+    def test_random_read_latency(self):
+        expected = DDR4_2666.tRP + DDR4_2666.tRCD + DDR4_2666.tCL
+        assert DDR4_2666.random_read_latency == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigurationError, match="tCL"):
+            dataclasses.replace(DDR4_2666, tCL=-1.0)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(DDR4_2666, banks_per_rank=0)
+
+    def test_tiny_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(DDR4_2666, row_bytes=32)
+
+    def test_custom_timing_constructs(self):
+        timing = DramTiming(
+            name="custom",
+            channel_peak_gbps=10.0,
+            tCL=10, tCWL=8, tRCD=10, tRP=10, tRAS=30, tWR=12, tWTR=6,
+            tRTW=2, tFAW=20, tRRD=5, tRFC=300, tREFI=7800,
+        )
+        assert timing.tBURST == pytest.approx(6.4)

@@ -1,0 +1,92 @@
+"""Tests for the experiments' shared fixtures (common.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.timing import DDR4_2666
+from repro.experiments.common import (
+    BENCH_HIERARCHY,
+    bench_sweep,
+    bench_system_config,
+    graviton_substrate,
+    hbm_substrate,
+    measured_family,
+    skylake_substrate,
+    substrate_timing,
+)
+from repro.memmodels.fixed import FixedLatencyModel
+
+
+class TestSystemConfigs:
+    def test_default_bench_system(self):
+        config = bench_system_config()
+        assert config.cores == 24
+        assert not config.in_order
+
+    def test_in_order_variant(self):
+        config = bench_system_config(cores=8, in_order=True)
+        assert config.effective_mshrs == 2
+
+    def test_hierarchy_overhead_is_cpu_side_latency(self):
+        assert BENCH_HIERARCHY.total_hit_path_ns == pytest.approx(69.5)
+
+
+class TestSubstrates:
+    def test_skylake_substrate_configuration(self):
+        model = skylake_substrate()
+        assert model.controller.channels == 6
+        assert model.controller.timing.name == "DDR4-2666"
+
+    def test_graviton_substrate(self):
+        assert graviton_substrate().controller.timing.name == "DDR5-4800"
+
+    def test_hbm_substrate_channel_count(self):
+        assert hbm_substrate(channels=8).controller.channels == 8
+
+    def test_substrate_timing_lookup(self):
+        assert substrate_timing("DDR4-2666") is DDR4_2666
+
+
+class TestSweepScaling:
+    def test_default_scale_sweep(self):
+        sweep = bench_sweep(1.0)
+        assert len(sweep.store_fractions) == 3
+        assert len(sweep.nop_counts) == 5
+
+    def test_high_scale_densifies(self):
+        small = bench_sweep(1.0)
+        large = bench_sweep(2.0)
+        assert len(large.store_fractions) > len(small.store_fractions)
+        assert len(large.nop_counts) > len(small.nop_counts)
+
+
+class TestFamilyCache:
+    def test_same_key_reuses_measurement(self):
+        calls = []
+
+        def factory():
+            model = FixedLatencyModel(latency_ns=50.0)
+            calls.append(model)
+            return model
+
+        first = measured_family("cache-test-a", factory, scale=0.99, cores=3)
+        calls_after_first = len(calls)
+        second = measured_family("cache-test-a", factory, scale=0.99, cores=3)
+        assert second is first
+        assert len(calls) == calls_after_first
+
+    def test_different_key_measures_again(self):
+        family_a = measured_family(
+            "cache-test-b",
+            lambda: FixedLatencyModel(latency_ns=50.0),
+            scale=0.99,
+            cores=3,
+        )
+        family_b = measured_family(
+            "cache-test-c",
+            lambda: FixedLatencyModel(latency_ns=50.0),
+            scale=0.99,
+            cores=3,
+        )
+        assert family_a is not family_b

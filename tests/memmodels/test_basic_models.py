@@ -1,0 +1,182 @@
+"""Unit tests for the fixed / M/D/1 / gem5-simple / internal-DDR models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memmodels.base import MemoryModelStats
+from repro.memmodels.fixed import FixedLatencyModel
+from repro.memmodels.internal_ddr import InternalDdrModel
+from repro.memmodels.md1 import MD1QueueModel
+from repro.memmodels.queueing import ArrivalRateEstimator, SingleServerQueue
+from repro.memmodels.simple_bw import SimpleBandwidthModel
+from repro.request import AccessType, MemoryRequest
+
+
+def read(address, at):
+    return MemoryRequest(address, AccessType.READ, at)
+
+
+def write(address, at):
+    return MemoryRequest(address, AccessType.WRITE, at)
+
+
+def drive(model, gap, ops, write_every=0):
+    latencies = []
+    for i in range(ops):
+        req = (
+            write(i * 64, i * gap)
+            if write_every and i % write_every == 0
+            else read(i * 64, i * gap)
+        )
+        latencies.append(model.access(req))
+    return latencies
+
+
+class TestFixedLatency:
+    def test_constant_regardless_of_load(self):
+        model = FixedLatencyModel(latency_ns=42.0)
+        latencies = drive(model, gap=0.1, ops=500)
+        assert set(latencies) == {42.0}
+
+    def test_unbounded_bandwidth(self):
+        """The paper's criticism: bandwidth exceeds any physical limit."""
+        model = FixedLatencyModel(latency_ns=42.0)
+        drive(model, gap=0.05, ops=2000)  # offered 1280 GB/s
+        assert model.stats.bandwidth_gbps > 500
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatencyModel(latency_ns=0)
+
+
+class TestMD1:
+    def test_unloaded_latency_at_low_rate(self):
+        model = MD1QueueModel(unloaded_latency_ns=30.0, peak_bandwidth_gbps=100)
+        latencies = drive(model, gap=50.0, ops=300)
+        assert latencies[-1] == pytest.approx(30.0, rel=0.05)
+
+    def test_latency_grows_with_utilization(self):
+        model = MD1QueueModel(unloaded_latency_ns=30.0, peak_bandwidth_gbps=100)
+        low = drive(model, gap=10.0, ops=500)[-1]
+        model.reset()
+        high = drive(model, gap=0.7, ops=500)[-1]
+        assert high > low
+
+    def test_latency_finite_beyond_capacity(self):
+        model = MD1QueueModel(unloaded_latency_ns=30.0, peak_bandwidth_gbps=100)
+        latencies = drive(model, gap=0.1, ops=2000)
+        assert latencies[-1] < 1e6
+
+    def test_writes_slightly_penalized(self):
+        model = MD1QueueModel(
+            unloaded_latency_ns=30.0,
+            peak_bandwidth_gbps=100,
+            write_service_inflation=1.5,
+        )
+        drive(model, gap=1.0, ops=2000, write_every=2)
+        mixed = model.stats.mean_latency_ns
+        model.reset()
+        drive(model, gap=1.0, ops=2000)
+        reads = model.stats.mean_latency_ns
+        assert mixed > reads
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MD1QueueModel(max_utilization=1.0)
+
+
+class TestSimpleBandwidth:
+    def test_writes_cheaper_than_reads(self):
+        """gem5-simple's inverted write behaviour (Figure 4b)."""
+        model = SimpleBandwidthModel(
+            read_latency_ns=30.0, write_latency_ns=4.0, peak_bandwidth_gbps=100
+        )
+        read_latency = model.access(read(0, 0.0))
+        write_latency = model.access(write(64, 100.0))
+        assert write_latency < read_latency
+
+    def test_bandwidth_capped_by_pipe(self):
+        model = SimpleBandwidthModel(peak_bandwidth_gbps=50.0)
+        last = 0.0
+        for i in range(3000):
+            latency = model.access(read(i * 64, i * 0.2))
+            last = max(last, i * 0.2 + latency)
+        assert 3000 * 64 / last <= 50.0 * 1.05
+
+
+class TestInternalDdr:
+    def test_saturates_below_theoretical(self):
+        """The paper: internal DDR underestimates the saturated area."""
+        model = InternalDdrModel(
+            peak_bandwidth_gbps=128.0, channels=6, inefficiency=0.78
+        )
+        last = 0.0
+        for i in range(6000):
+            latency = model.access(read(i * 64, i * 0.1))
+            last = max(last, i * 0.1 + latency)
+        achieved = 6000 * 64 / last
+        assert achieved <= 128.0 * 0.78 * 1.05
+
+    def test_mixed_traffic_overpenalized(self):
+        """Every direction switch pays the turnaround, unbatched."""
+        model = InternalDdrModel(peak_bandwidth_gbps=128.0, channels=6)
+        # write_every must be coprime with the channel count, or the
+        # line-interleaved channels would segregate reads from writes
+        drive(model, gap=1.0, ops=3000, write_every=5)
+        mixed = model.stats.mean_latency_ns
+        model.reset()
+        drive(model, gap=1.0, ops=3000)
+        reads = model.stats.mean_latency_ns
+        assert mixed > reads * 1.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InternalDdrModel(inefficiency=0.0)
+
+
+class TestQueueing:
+    def test_single_server_waits_accumulate(self):
+        queue = SingleServerQueue(service_ns=10.0)
+        assert queue.admit(0.0) == 0.0
+        assert queue.admit(0.0) == 10.0
+        assert queue.admit(0.0) == 20.0
+
+    def test_idle_server_no_wait(self):
+        queue = SingleServerQueue(service_ns=10.0)
+        queue.admit(0.0)
+        assert queue.admit(100.0) == 0.0
+
+    def test_arrival_rate_estimator(self):
+        estimator = ArrivalRateEstimator(alpha=1.0)
+        estimator.observe(0.0)
+        estimator.observe(2.0)
+        assert estimator.rate_per_ns == pytest.approx(0.5)
+
+    def test_estimator_empty(self):
+        assert ArrivalRateEstimator().rate_per_ns == 0.0
+
+
+class TestStats:
+    def test_record_accumulates(self):
+        stats = MemoryModelStats()
+        stats.record(read(0, 0.0), 10.0)
+        stats.record(write(64, 5.0), 2.0)
+        assert stats.accesses == 2
+        assert stats.read_ratio == 0.5
+        assert stats.mean_latency_ns == 6.0
+        assert stats.bytes_transferred == 128
+
+    def test_bandwidth_over_active_interval(self):
+        stats = MemoryModelStats()
+        stats.record(read(0, 0.0), 10.0)
+        stats.record(read(64, 100.0), 28.0)
+        # 128 bytes over (100 + 28) ns
+        assert stats.bandwidth_gbps == pytest.approx(1.0)
+
+    def test_idle_stats(self):
+        stats = MemoryModelStats()
+        assert stats.bandwidth_gbps == 0.0
+        assert stats.mean_latency_ns == 0.0
+        assert stats.read_ratio == 1.0

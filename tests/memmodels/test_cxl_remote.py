@@ -1,0 +1,111 @@
+"""Unit tests for the CXL expander and remote-socket models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memmodels.cxl import CxlExpanderModel
+from repro.memmodels.cycle_accurate import CycleAccurateModel
+from repro.memmodels.remote_socket import RemoteSocketModel
+from repro.dram.timing import DDR4_2666
+from repro.request import AccessType, MemoryRequest
+
+
+def drive_ratio(model, read_ratio, gap, ops, streams=4):
+    reads_acc = 0
+    last = 0.0
+    positions = [0] * streams
+    for i in range(ops):
+        stream = i % streams
+        address = stream * (4 << 20) + positions[stream] * 64
+        positions[stream] += 1
+        target = round((i + 1) * read_ratio)
+        is_read = target > reads_acc
+        if is_read:
+            reads_acc += 1
+        latency = model.access(
+            MemoryRequest(
+                address,
+                AccessType.READ if is_read else AccessType.WRITE,
+                i * gap,
+            )
+        )
+        last = max(last, i * gap + latency)
+    return ops * 64 / last
+
+
+class TestCxlDuplex:
+    def test_balanced_traffic_beats_one_sided(self):
+        """The paper's distinguishing CXL behaviour (Section V-C)."""
+        balanced = drive_ratio(CxlExpanderModel(), 0.5, gap=0.6, ops=6000)
+        reads_only = drive_ratio(CxlExpanderModel(), 1.0, gap=0.6, ops=6000)
+        writes_only = drive_ratio(CxlExpanderModel(), 0.0, gap=0.6, ops=6000)
+        assert balanced > reads_only
+        assert balanced > writes_only
+
+    def test_one_direction_capped_by_link(self):
+        model = CxlExpanderModel(link_gbps_per_direction=27.0)
+        bandwidth = drive_ratio(model, 1.0, gap=0.6, ops=6000)
+        assert bandwidth <= 27.0 * 1.1
+
+    def test_peak_bandwidth_property(self):
+        model = CxlExpanderModel(link_gbps_per_direction=27.0)
+        assert model.peak_bandwidth_gbps == pytest.approx(
+            min(54.0, model.backend.peak_bandwidth_gbps)
+        )
+
+    def test_read_latency_includes_port(self):
+        model = CxlExpanderModel(port_latency_ns=85.0)
+        latency = model.access(MemoryRequest(0, AccessType.READ, 0.0))
+        assert latency >= 85.0
+
+    def test_write_ack_does_not_wait_for_dram(self):
+        model = CxlExpanderModel(write_ack_latency_ns=30.0)
+        latency = model.access(MemoryRequest(0, AccessType.WRITE, 0.0))
+        assert latency == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CxlExpanderModel(link_gbps_per_direction=0)
+
+
+class TestRemoteSocket:
+    def test_higher_unloaded_latency_than_cxl(self):
+        """Appendix B: +~28 ns in the low-bandwidth region."""
+        cxl = CxlExpanderModel().access(MemoryRequest(0, AccessType.READ, 0.0))
+        remote = RemoteSocketModel().access(
+            MemoryRequest(0, AccessType.READ, 0.0)
+        )
+        assert remote > cxl + 15.0
+
+    def test_higher_bandwidth_ceiling_than_cxl(self):
+        """Appendix B: the remote node out-muscles an x8 CXL device."""
+        assert (
+            RemoteSocketModel(link_gbps_per_direction=58.0).peak_bandwidth_gbps
+            > CxlExpanderModel().peak_bandwidth_gbps
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RemoteSocketModel(hop_latency_ns=0)
+
+
+class TestCycleAccurateAdapter:
+    def test_row_buffer_stats_exposed(self):
+        model = CycleAccurateModel(DDR4_2666, channels=2)
+        model.access(MemoryRequest(0, AccessType.READ, 0.0))
+        model.access(MemoryRequest(64 * 16, AccessType.READ, 100.0))
+        assert model.row_buffer_stats().total == 2
+
+    def test_reset_clears_controller(self):
+        model = CycleAccurateModel(DDR4_2666, channels=2)
+        model.access(MemoryRequest(0, AccessType.READ, 0.0))
+        model.reset()
+        assert model.row_buffer_stats().total == 0
+        assert model.stats.accesses == 0
+
+    def test_name_describes_configuration(self):
+        model = CycleAccurateModel(DDR4_2666, channels=6)
+        assert "DDR4-2666" in model.name
+        assert "6" in model.name

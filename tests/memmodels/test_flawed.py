@@ -1,0 +1,110 @@
+"""Unit tests: the flawed analogs reproduce their measured signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memmodels.flawed import (
+    DRAMsim3Analog,
+    Ramulator2Analog,
+    RamulatorAnalog,
+)
+from repro.request import AccessType, MemoryRequest
+
+
+def drive(model, gap, ops, read_ratio=1.0):
+    reads_acc = 0
+    last = 0.0
+    read_latencies = []
+    for i in range(ops):
+        target = round((i + 1) * read_ratio)
+        is_read = target > reads_acc
+        if is_read:
+            reads_acc += 1
+        latency = model.access(
+            MemoryRequest(
+                i * 64,
+                AccessType.READ if is_read else AccessType.WRITE,
+                i * gap,
+            )
+        )
+        last = max(last, i * gap + latency)
+        if is_read:
+            read_latencies.append(latency)
+    return ops * 64 / last, read_latencies
+
+
+class TestRamulatorAnalog:
+    def test_flat_latency_at_any_load(self):
+        """Paper: fixed ~25 ns in the whole bandwidth area."""
+        model = RamulatorAnalog(latency_ns=25.0, theoretical_gbps=128.0)
+        _, low = drive(model, gap=10.0, ops=500)
+        model.reset()
+        _, high = drive(model, gap=0.8, ops=500)
+        assert low[-1] == pytest.approx(25.0)
+        assert high[-1] == pytest.approx(25.0)
+
+    def test_bandwidth_exceeds_theoretical(self):
+        """Paper: simulated bandwidth 1.8x the theoretical maximum."""
+        model = RamulatorAnalog(theoretical_gbps=128.0, bandwidth_headroom=1.8)
+        bandwidth, _ = drive(model, gap=0.2, ops=5000)
+        assert bandwidth > 128.0
+        assert bandwidth <= 1.8 * 128.0 * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RamulatorAnalog(latency_ns=0)
+
+
+class TestDRAMsim3Analog:
+    def test_latency_grows_linearly_without_saturation_knee(self):
+        model = DRAMsim3Analog(theoretical_gbps=128.0)
+        points = []
+        for gap in (4.0, 2.0, 1.0):
+            model.reset()
+            bandwidth, latencies = drive(model, gap=gap, ops=3000)
+            points.append((bandwidth, latencies[-1]))
+        # latency increases with bandwidth...
+        assert points[0][1] < points[-1][1]
+        # ...but modestly (linear, not exploding)
+        assert points[-1][1] < 4 * points[0][1]
+
+    def test_bandwidth_ceiling_below_theoretical(self):
+        model = DRAMsim3Analog(theoretical_gbps=128.0, ceiling_fraction=0.88)
+        bandwidth, _ = drive(model, gap=0.2, ops=6000)
+        assert bandwidth <= 128.0 * 0.88 * 1.05
+
+    def test_intermediate_mix_slower_than_extremes(self):
+        """Paper Figure 7: highest hit rates at the extreme mixes."""
+        model = DRAMsim3Analog(theoretical_gbps=128.0)
+        _, pure = drive(model, gap=2.0, ops=3000, read_ratio=1.0)
+        model.reset()
+        _, mixed = drive(model, gap=2.0, ops=3000, read_ratio=0.75)
+        assert mixed[-1] > pure[-1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DRAMsim3Analog(ceiling_fraction=0)
+
+
+class TestRamulator2Analog:
+    def test_bandwidth_wall_below_half(self):
+        """Paper: sharp wall below half the real system's bandwidth."""
+        model = Ramulator2Analog(theoretical_gbps=307.0, wall_fraction=0.42)
+        bandwidth, _ = drive(model, gap=0.15, ops=6000)
+        assert bandwidth <= 307.0 * 0.42 * 1.05
+
+    def test_writes_modeled_too_cheap(self):
+        """Paper: the error increases with the write ratio."""
+        model = Ramulator2Analog(theoretical_gbps=307.0)
+        write_latency = model.access(
+            MemoryRequest(0, AccessType.WRITE, 0.0)
+        )
+        model.reset()
+        read_latency = model.access(MemoryRequest(0, AccessType.READ, 0.0))
+        assert write_latency < read_latency
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Ramulator2Analog(write_discount_ns=100.0, base_latency_ns=18.0)

@@ -1,0 +1,98 @@
+"""Tests for the Optane persistent-memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memmodels.optane import XPLINE_BYTES, OptaneModel
+from repro.platforms.presets import optane_family
+from repro.request import AccessType, MemoryRequest
+
+
+def read(address, at):
+    return MemoryRequest(address, AccessType.READ, at)
+
+
+def write(address, at):
+    return MemoryRequest(address, AccessType.WRITE, at)
+
+
+class TestLatency:
+    def test_random_reads_pay_media_latency(self):
+        model = OptaneModel()
+        latency = model.access(read(0, 0.0))
+        assert latency == pytest.approx(305.0)
+
+    def test_xpline_buffered_read_is_faster(self):
+        model = OptaneModel()
+        model.access(read(0, 0.0))
+        # the next line of the same 256-byte XPLine hits the buffer
+        latency = model.access(read(64, 1000.0))
+        assert latency == pytest.approx(170.0)
+
+    def test_different_xpline_misses_buffer(self):
+        model = OptaneModel(dimms=1)
+        model.access(read(0, 0.0))
+        latency = model.access(read(XPLINE_BYTES, 1000.0))
+        assert latency == pytest.approx(305.0)
+
+    def test_much_slower_than_dram(self):
+        assert OptaneModel().access(read(0, 0.0)) > 150.0
+
+
+class TestBandwidth:
+    def _sustained(self, model, access_type, ops=4000, gap=1.0):
+        last = 0.0
+        for i in range(ops):
+            request = MemoryRequest(i * 64, access_type, i * gap)
+            last = max(last, i * gap + model.access(request))
+        return ops * 64 / last
+
+    def test_read_bandwidth_capped(self):
+        model = OptaneModel(dimms=2, read_bandwidth_gbps_per_dimm=6.6)
+        achieved = self._sustained(model, AccessType.READ)
+        assert achieved <= 13.2 * 1.05
+
+    def test_write_bandwidth_much_lower(self):
+        reads = self._sustained(OptaneModel(), AccessType.READ)
+        writes = self._sustained(OptaneModel(), AccessType.WRITE)
+        assert writes < 0.6 * reads
+
+    def test_write_queue_absorbs_bursts(self):
+        model = OptaneModel()
+        first = model.access(write(0, 0.0))
+        assert first == pytest.approx(60.0)  # queued, not media-bound
+
+    def test_peak_properties(self):
+        model = OptaneModel(dimms=2)
+        assert model.peak_read_bandwidth_gbps == pytest.approx(13.2)
+        assert model.peak_write_bandwidth_gbps == pytest.approx(4.6)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            OptaneModel(dimms=0)
+        with pytest.raises(ConfigurationError):
+            OptaneModel(random_read_ns=10.0, sequential_read_ns=100.0)
+
+    def test_reset(self):
+        model = OptaneModel()
+        model.access(read(0, 0.0))
+        model.reset()
+        assert model.stats.accesses == 0
+        # XPLine buffer cleared: first read is random again
+        assert model.access(read(64, 0.0)) == pytest.approx(305.0)
+
+
+class TestFamilyPreset:
+    def test_write_heavy_mixes_slower(self):
+        family = optane_family()
+        peaks = {c.read_ratio: c.max_bandwidth_gbps for c in family}
+        assert peaks[1.0] > peaks[0.5] * 1.5
+
+    def test_latencies_beyond_dram(self):
+        family = optane_family()
+        assert family.unloaded_latency_ns > 300.0
+        assert family.max_bandwidth_gbps < 15.0

@@ -1,0 +1,94 @@
+"""Tests for the Paraver .prv subset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.platforms.presets import INTEL_CASCADE_LAKE, family
+from repro.profiling.paraver import (
+    EVENT_BANDWIDTH_MBPS,
+    EVENT_MPI_CALL,
+    EVENT_PHASE,
+    EVENT_STRESS_MILLI,
+    MPI_CALL_IDS,
+    read_prv,
+    write_prv,
+)
+from repro.profiling.profile import MessProfile
+from repro.profiling.sampler import sample_phase_profile
+from repro.workloads.hpcg import HpcgPhaseProfile
+
+
+@pytest.fixture
+def profile():
+    curves = family(INTEL_CASCADE_LAKE)
+    samples = sample_phase_profile(
+        HpcgPhaseProfile(iterations=1), peak_bandwidth_gbps=100.0
+    )
+    return MessProfile.from_samples(curves, samples)
+
+
+class TestWriteRead:
+    def test_roundtrip_structure(self, profile, tmp_path):
+        path = tmp_path / "hpcg.prv"
+        write_prv(profile.points, path)
+        trace = read_prv(path)
+        assert trace.total_time_ns > 0
+        stress_events = trace.events_of_type(EVENT_STRESS_MILLI)
+        assert len(stress_events) == len(profile.points)
+        bandwidth_events = trace.events_of_type(EVENT_BANDWIDTH_MBPS)
+        assert len(bandwidth_events) == len(profile.points)
+
+    def test_stress_series_recovered(self, profile, tmp_path):
+        path = tmp_path / "hpcg.prv"
+        write_prv(profile.points, path)
+        series = read_prv(path).stress_series()
+        original = [p.stress_score for p in profile.points]
+        recovered = [score for _, score in series]
+        assert recovered == pytest.approx(original, abs=0.001)
+
+    def test_mpi_events_mapped(self, profile, tmp_path):
+        path = tmp_path / "hpcg.prv"
+        write_prv(profile.points, path)
+        trace = read_prv(path)
+        mpi_values = {e.value for e in trace.events_of_type(EVENT_MPI_CALL)}
+        assert MPI_CALL_IDS["MPI_Allreduce"] in mpi_values
+
+    def test_phase_table_roundtrip(self, profile, tmp_path):
+        path = tmp_path / "hpcg.prv"
+        write_prv(profile.points, path)
+        trace = read_prv(path)
+        assert "spmv_head" in trace.phase_table.values()
+        phase_ids = {e.value for e in trace.events_of_type(EVENT_PHASE)}
+        assert phase_ids <= set(trace.phase_table)
+
+    def test_empty_points_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            write_prv([], tmp_path / "empty.prv")
+
+
+class TestParsing:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.prv"
+        path.write_text("not a paraver file\n")
+        with pytest.raises(TraceError, match="missing header"):
+            read_prv(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.prv"
+        path.write_text("#Paraver (x)\n")
+        with pytest.raises(TraceError, match="malformed Paraver header"):
+            read_prv(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "bad.prv"
+        path.write_text("#Paraver (d):100_ns:1(1):1:1(1:1)\n9:1:1:1:1:0:1:2\n")
+        with pytest.raises(TraceError, match="unknown record kind"):
+            read_prv(path)
+
+    def test_malformed_event_record(self, tmp_path):
+        path = tmp_path / "bad.prv"
+        path.write_text("#Paraver (d):100_ns:1(1):1:1(1:1)\n2:1:1:1:1:0:42\n")
+        with pytest.raises(TraceError, match="malformed event"):
+            read_prv(path)

@@ -1,0 +1,143 @@
+"""Tests for sampling, curve positioning and timeline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.core import MemOp
+from repro.cpu.system import System
+from repro.errors import ProfilingError
+from repro.memmodels.fixed import FixedLatencyModel
+from repro.profiling.profile import MessProfile
+from repro.profiling.sampler import (
+    BandwidthSample,
+    sample_phase_profile,
+    sample_system,
+)
+from repro.profiling.timeline import render_timeline, split_iterations
+from repro.workloads.hpcg import HpcgPhaseProfile
+
+
+@pytest.fixture
+def hpcg_samples(small_family):
+    profile = HpcgPhaseProfile(iterations=2)
+    return sample_phase_profile(
+        profile, peak_bandwidth_gbps=small_family.max_bandwidth_gbps
+    )
+
+
+class TestPhaseSampling:
+    def test_samples_cover_whole_timeline(self, hpcg_samples):
+        profile = HpcgPhaseProfile(iterations=2)
+        total = sum(s.duration_ns for s in hpcg_samples)
+        assert total == pytest.approx(profile.duration_ms * 1e6, rel=1e-6)
+
+    def test_samples_annotated_with_phases(self, hpcg_samples):
+        labels = {s.phase for s in hpcg_samples}
+        assert "spmv_head" in labels
+        assert "allreduce" in labels
+
+    def test_mpi_calls_carried(self, hpcg_samples):
+        assert any(s.mpi_call == "MPI_Allreduce" for s in hpcg_samples)
+
+    def test_sample_period_respected(self, hpcg_samples):
+        assert max(s.duration_ns for s in hpcg_samples) <= 10.0 * 1e6 + 1
+
+    def test_validation(self):
+        with pytest.raises(ProfilingError):
+            sample_phase_profile(HpcgPhaseProfile(), peak_bandwidth_gbps=0)
+
+
+class TestSystemSampling:
+    def test_window_bandwidths_reflect_traffic(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel(latency_ns=50))
+        ops = (MemOp(i * (1 << 20)) for i in range(2000))
+        system.add_workload(0, ops)
+        samples = sample_system(system, total_ns=2000.0, sample_ns=500.0)
+        assert len(samples) == 4
+        assert all(s.bandwidth_gbps >= 0 for s in samples)
+        assert sum(s.duration_ns for s in samples) == pytest.approx(2000.0)
+
+    def test_validation(self, tiny_system_config):
+        system = System(tiny_system_config, FixedLatencyModel())
+        with pytest.raises(ProfilingError):
+            sample_system(system, total_ns=10.0, sample_ns=100.0)
+
+
+class TestMessProfile:
+    def test_every_sample_positioned(self, small_family, hpcg_samples):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        assert len(profile.points) == len(hpcg_samples)
+        for point in profile.points:
+            assert point.latency_ns > 0
+            assert 0.0 <= point.stress_score <= 1.0
+            assert point.color in {"green", "yellow", "red"}
+
+    def test_saturated_fraction_and_summary(self, small_family, hpcg_samples):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        fraction = profile.saturated_time_fraction()
+        assert 0.0 <= fraction <= 1.0
+        assert profile.peak_bandwidth_gbps() > 0
+        assert profile.peak_latency_ns() >= small_family.unloaded_latency_ns
+        histogram = profile.color_histogram()
+        assert sum(histogram.values()) == len(profile.points)
+
+    def test_time_weighted_stress_differs_from_naive_mean(
+        self, small_family, hpcg_samples
+    ):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        weighted = profile.time_weighted_mean_stress()
+        assert 0.0 <= weighted <= 1.0
+
+    def test_empty_samples_rejected(self, small_family):
+        with pytest.raises(ProfilingError):
+            MessProfile.from_samples(small_family, [])
+
+
+class TestTimeline:
+    def test_split_iterations_on_allreduce(self, small_family, hpcg_samples):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        iterations = split_iterations(profile)
+        assert len(iterations) == 2
+        for iteration in iterations:
+            assert iteration.phases[-1].mpi_call == "MPI_Allreduce"
+
+    def test_longest_phase_is_compute(self, small_family, hpcg_samples):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        iteration = split_iterations(profile)[0]
+        assert iteration.longest_phase.label == "spmv_head"
+        assert iteration.longest_phase.mpi_call is None
+
+    def test_spmv_head_more_stressed_than_tail(
+        self, small_family, hpcg_samples
+    ):
+        """Figure 16's two stress levels within the long phase."""
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        iteration = split_iterations(profile)[0]
+        by_label = {p.label: p for p in iteration.phases}
+        assert (
+            by_label["spmv_head"].mean_stress
+            > by_label["spmv_tail"].mean_stress
+        )
+
+    def test_render_timeline(self, small_family, hpcg_samples):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        art = render_timeline(profile, width=60)
+        lines = art.splitlines()
+        assert lines[0].startswith("MPI:")
+        assert lines[1].startswith("phase:")
+        assert lines[2].startswith("stress:")
+        assert "M" in lines[0]
+
+    def test_render_validation(self, small_family, hpcg_samples):
+        profile = MessProfile.from_samples(small_family, hpcg_samples)
+        with pytest.raises(ProfilingError):
+            render_timeline(profile, width=3)
+
+
+class TestBandwidthSample:
+    def test_end_time(self):
+        sample = BandwidthSample(
+            start_ns=100.0, duration_ns=50.0, bandwidth_gbps=1.0, read_ratio=1.0
+        )
+        assert sample.end_ns == 150.0

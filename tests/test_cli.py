@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig18" in out
+        assert "ablation" in out
+
+
+class TestRun:
+    def test_runs_cheap_experiment(self, capsys, tmp_path):
+        csv = tmp_path / "out.csv"
+        assert main(["run", "fig17", "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out
+        assert csv.exists()
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestCurves:
+    def test_prints_preset_platform(self, capsys):
+        assert main(["curves", "intel-skylake-xeon-platinum"]) == 0
+        out = capsys.readouterr().out
+        assert "Skylake" in out
+        assert "unloaded 89 ns" in out
+
+    def test_special_families(self, capsys, tmp_path):
+        csv = tmp_path / "cxl.csv"
+        assert main(["curves", "cxl", "--csv", str(csv)]) == 0
+        assert csv.exists()
+        assert main(["curves", "optane"]) == 0
+
+    def test_unknown_platform_exit_code(self, capsys):
+        assert main(["curves", "bogus"]) == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestCharacterize:
+    def test_small_characterization(self, capsys):
+        assert (
+            main(
+                [
+                    "characterize",
+                    "--preset",
+                    "DDR4-2666",
+                    "--channels",
+                    "2",
+                    "--cores",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "unloaded" in out
+        assert "GB/s" in out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--preset", "DDR9"])
+
+
+class TestParser:
+    def test_command_required(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

@@ -1,0 +1,80 @@
+"""Tests for unit conversions and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    CACHE_LINE_BYTES,
+    bytes_per_ns_to_gbps,
+    cycles_to_ns,
+    ddr_rate_to_gbps,
+    gbps_to_bytes_per_ns,
+    gbps_to_lines_per_ns,
+    lines_per_ns_to_gbps,
+    ns_to_cycles,
+)
+
+
+class TestUnits:
+    def test_gbps_is_bytes_per_ns(self):
+        assert gbps_to_bytes_per_ns(5.0) == pytest.approx(5.0)
+        assert bytes_per_ns_to_gbps(5.0) == pytest.approx(5.0)
+
+    def test_line_rate_roundtrip(self):
+        assert lines_per_ns_to_gbps(gbps_to_lines_per_ns(128.0)) == (
+            pytest.approx(128.0)
+        )
+
+    def test_one_line_per_ns(self):
+        assert lines_per_ns_to_gbps(1.0) == pytest.approx(CACHE_LINE_BYTES)
+
+    def test_cycles_conversion(self):
+        assert cycles_to_ns(20, 2.0) == pytest.approx(10.0)
+        assert ns_to_cycles(10.0, 2.0) == pytest.approx(20.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(errors.ConfigurationError):
+            cycles_to_ns(10, 0.0)
+        with pytest.raises(errors.ConfigurationError):
+            ns_to_cycles(10, -1.0)
+
+    def test_ddr_rate(self):
+        assert ddr_rate_to_gbps(2666) == pytest.approx(21.328)
+        assert ddr_rate_to_gbps(4800) == pytest.approx(38.4)
+
+    def test_invalid_ddr_rate(self):
+        with pytest.raises(errors.ConfigurationError):
+            ddr_rate_to_gbps(0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.CurveError,
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.BenchmarkError,
+            errors.TraceError,
+            errors.ProfilingError,
+        ],
+    )
+    def test_all_derive_from_mess_error(self, exc):
+        assert issubclass(exc, errors.MessError)
+        with pytest.raises(errors.MessError):
+            raise exc("boom")
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

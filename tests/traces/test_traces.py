@@ -1,0 +1,142 @@
+"""Tests for trace format, capture, and trace-driven replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.controller import DramController
+from repro.dram.timing import DDR4_2666
+from repro.errors import TraceError
+from repro.memmodels.cycle_accurate import CycleAccurateModel
+from repro.memmodels.fixed import FixedLatencyModel
+from repro.request import AccessType
+from repro.traces.capture import TraceCapturingModel
+from repro.traces.driver import (
+    replay_trace,
+    replay_trace_frfcfs,
+    synthesize_mess_trace,
+)
+from repro.traces.format import TraceRecord, read_trace, write_trace
+
+
+class TestFormat:
+    def test_line_roundtrip(self):
+        record = TraceRecord(12.5, 0xDEAD00, AccessType.WRITE)
+        parsed = TraceRecord.from_line(record.to_line())
+        assert parsed == record
+
+    def test_file_roundtrip(self, tmp_path):
+        records = synthesize_mess_trace(ops=50, read_ratio=0.7, gap_ns=1.0)
+        path = tmp_path / "trace.csv"
+        assert write_trace(records, path) == 50
+        loaded = list(read_trace(path))
+        assert loaded == records
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("# header\n\n1.0,0x40,R\n")
+        assert len(list(read_trace(path))) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        ["1.0,0x40", "x,0x40,R", "1.0,0x40,Q", "-1.0,0x40,R", "1.0,-64,R"],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(TraceError):
+            TraceRecord.from_line(line, lineno=7)
+
+    def test_to_request_with_shift(self):
+        record = TraceRecord(10.0, 64, AccessType.READ)
+        request = record.to_request(time_shift_ns=5.0)
+        assert request.issue_time_ns == 15.0
+        assert request.address == 64
+
+
+class TestCapture:
+    def test_all_traffic_recorded(self):
+        capture = TraceCapturingModel(FixedLatencyModel(latency_ns=10.0))
+        from repro.request import MemoryRequest
+
+        capture.access(MemoryRequest(0, AccessType.READ, 1.0))
+        capture.access(MemoryRequest(64, AccessType.WRITE, 2.0))
+        assert len(capture.records) == 2
+        assert capture.records[1].access_type is AccessType.WRITE
+        assert capture.inner.stats.accesses == 2
+
+    def test_reset_clears_records(self):
+        capture = TraceCapturingModel(FixedLatencyModel())
+        from repro.request import MemoryRequest
+
+        capture.access(MemoryRequest(0, AccessType.READ, 0.0))
+        capture.reset()
+        assert capture.records == []
+
+
+class TestSynthesize:
+    def test_ratio_exact(self):
+        records = synthesize_mess_trace(ops=1000, read_ratio=0.7, gap_ns=1.0)
+        reads = sum(1 for r in records if r.access_type is AccessType.READ)
+        assert reads == 700
+
+    def test_times_spaced_by_gap(self):
+        records = synthesize_mess_trace(ops=10, read_ratio=1.0, gap_ns=2.5)
+        assert records[3].issue_time_ns == pytest.approx(7.5)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            synthesize_mess_trace(ops=0, read_ratio=1.0, gap_ns=1.0)
+        with pytest.raises(TraceError):
+            synthesize_mess_trace(ops=10, read_ratio=2.0, gap_ns=1.0)
+
+
+class TestReplay:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            replay_trace(FixedLatencyModel(), [])
+
+    def test_fixed_model_replay_latency(self):
+        records = synthesize_mess_trace(ops=500, read_ratio=1.0, gap_ns=2.0)
+        result = replay_trace(FixedLatencyModel(latency_ns=33.0), records)
+        assert result.mean_read_latency_ns == pytest.approx(33.0)
+        assert result.requests == 500
+
+    def test_pressure_scales_bandwidth(self):
+        records = synthesize_mess_trace(ops=2000, read_ratio=1.0, gap_ns=2.0)
+        slow = replay_trace(FixedLatencyModel(), records, pressure=1.0)
+        fast = replay_trace(FixedLatencyModel(), records, pressure=4.0)
+        assert fast.bandwidth_gbps == pytest.approx(
+            4 * slow.bandwidth_gbps, rel=0.05
+        )
+
+    def test_closed_loop_bounds_latency(self):
+        records = synthesize_mess_trace(ops=3000, read_ratio=1.0, gap_ns=0.1)
+        model = CycleAccurateModel(DDR4_2666, channels=1)
+        result = replay_trace(model, records, max_outstanding=32)
+        # 32 outstanding at channel peak bounds the mean queue delay
+        assert result.mean_read_latency_ns < 32 * 64 / 10 + 500
+
+    def test_frfcfs_beats_fcfs_on_conflicted_trace(self):
+        """The scheduling ablation: first-ready raises row hits."""
+        # single-line interleave so streams conflict in-bank
+        records = synthesize_mess_trace(
+            ops=4000, read_ratio=1.0, gap_ns=0.4, streams=24
+        )
+        fcfs_model = CycleAccurateModel(
+            DDR4_2666, channels=2, interleave_bytes=64
+        )
+        fcfs = replay_trace(fcfs_model, records)
+        frfcfs_controller = DramController(
+            DDR4_2666, channels=2, interleave_bytes=64
+        )
+        frfcfs = replay_trace_frfcfs(frfcfs_controller, records, window=16)
+        fcfs_hits = fcfs_model.row_buffer_stats().rates()[0]
+        frfcfs_hits = frfcfs_controller.row_buffer_stats().rates()[0]
+        assert frfcfs_hits > fcfs_hits
+
+    def test_frfcfs_validation(self):
+        controller = DramController(DDR4_2666, channels=1)
+        with pytest.raises(TraceError):
+            replay_trace_frfcfs(controller, [], window=4)
+        records = synthesize_mess_trace(ops=10, read_ratio=1.0, gap_ns=1.0)
+        with pytest.raises(TraceError):
+            replay_trace_frfcfs(controller, records, window=0)

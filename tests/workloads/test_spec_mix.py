@@ -1,0 +1,104 @@
+"""Tests for the SPEC profiles and the analytic runtime model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms.presets import cxl_expander_family, remote_socket_family
+from repro.workloads.spec_mix import (
+    SPEC_CPU2006,
+    AppProfile,
+    estimate_time_per_access,
+    performance_delta_pct,
+)
+
+
+class TestProfiles:
+    def test_full_suite_present(self):
+        assert len(SPEC_CPU2006) == 29
+        names = {p.name for p in SPEC_CPU2006}
+        assert {"perlbench", "lbm", "mcf", "libquantum"} <= names
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile(name="bad", gap_ns=-1, mlp=2, read_ratio=0.8)
+        with pytest.raises(ConfigurationError):
+            AppProfile(name="bad", gap_ns=1, mlp=0.5, read_ratio=0.8)
+
+
+class TestFixedPoint:
+    def test_converges_and_is_stable(self, small_family):
+        profile = AppProfile(name="t", gap_ns=5.0, mlp=2.0, read_ratio=0.9)
+        t1, bw1 = estimate_time_per_access(profile, small_family)
+        t2, bw2 = estimate_time_per_access(
+            profile, small_family, iterations=120
+        )
+        assert t1 == pytest.approx(t2, rel=0.02)
+        assert bw1 == pytest.approx(bw2, rel=0.02)
+
+    def test_result_self_consistent(self, small_family):
+        profile = AppProfile(name="t", gap_ns=5.0, mlp=2.0, read_ratio=0.9)
+        time_per_access, bandwidth = estimate_time_per_access(
+            profile, small_family
+        )
+        latency = small_family.latency_at(bandwidth, profile.read_ratio)
+        assert time_per_access == pytest.approx(
+            profile.gap_ns + latency / profile.mlp, rel=0.05
+        )
+        assert bandwidth == pytest.approx(
+            profile.threads * 64 / time_per_access, rel=0.05
+        )
+
+    def test_compute_bound_profile_barely_loads_memory(self, small_family):
+        profile = AppProfile(name="t", gap_ns=500.0, mlp=1.2, read_ratio=0.95)
+        _, bandwidth = estimate_time_per_access(profile, small_family)
+        assert bandwidth < 0.1 * small_family.max_bandwidth_gbps
+
+    def test_memory_bound_profile_saturates(self, small_family):
+        profile = AppProfile(name="t", gap_ns=0.5, mlp=16.0, read_ratio=1.0)
+        _, bandwidth = estimate_time_per_access(profile, small_family)
+        assert bandwidth > 0.8 * small_family[1.0].max_bandwidth_gbps
+
+    def test_validation(self, small_family):
+        profile = AppProfile(name="t", gap_ns=1, mlp=2, read_ratio=0.8)
+        with pytest.raises(ConfigurationError):
+            estimate_time_per_access(profile, small_family, iterations=0)
+        with pytest.raises(ConfigurationError):
+            estimate_time_per_access(profile, small_family, damping=0)
+
+
+class TestFigure18Shape:
+    def test_low_bandwidth_workloads_prefer_cxl(self):
+        cxl = cxl_expander_family()
+        remote = remote_socket_family()
+        delta = performance_delta_pct(
+            next(p for p in SPEC_CPU2006 if p.name == "perlbench"),
+            cxl,
+            remote,
+        )
+        assert delta < 0
+
+    def test_high_bandwidth_workloads_prefer_remote(self):
+        cxl = cxl_expander_family()
+        remote = remote_socket_family()
+        delta = performance_delta_pct(
+            next(p for p in SPEC_CPU2006 if p.name == "libquantum"),
+            cxl,
+            remote,
+        )
+        assert delta > 10
+
+    def test_deltas_trend_upward_with_utilization(self):
+        cxl = cxl_expander_family()
+        remote = remote_socket_family()
+        rows = []
+        for profile in SPEC_CPU2006:
+            _, bandwidth = estimate_time_per_access(profile, cxl)
+            rows.append(
+                (bandwidth, performance_delta_pct(profile, cxl, remote))
+            )
+        rows.sort()
+        low_third = [delta for _, delta in rows[:10]]
+        high_third = [delta for _, delta in rows[-10:]]
+        assert max(low_third) < min(high_third)
