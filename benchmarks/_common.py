@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.experiments import run_experiment
 from repro.experiments.base import ExperimentResult
+from repro.runner import cache as result_cache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -42,16 +43,23 @@ def save_result(result: ExperimentResult) -> None:
 def run_experiment_benchmark(benchmark, experiment_id: str) -> ExperimentResult:
     """Standard body of one experiment bench."""
     scale = bench_scale()
+    # benches measure the real cost of an experiment: make sure no
+    # previously activated on-disk cache short-circuits the sweep
+    result_cache.deactivate()
     result = benchmark.pedantic(
-        run_experiment,
-        args=(experiment_id,),
-        kwargs={"scale": scale},
+        _run_uncached,
+        args=(experiment_id, scale),
         iterations=1,
         rounds=1,
     )
     save_result(result)
     benchmark.extra_info["rows"] = len(result.rows)
     benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["digest"] = result.digest()
     for index, note in enumerate(result.notes):
         benchmark.extra_info[f"note_{index}"] = note.splitlines()[0]
     return result
+
+
+def _run_uncached(experiment_id: str, scale: float) -> ExperimentResult:
+    return run_experiment(experiment_id, scale=scale)

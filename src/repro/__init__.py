@@ -19,7 +19,9 @@ stand on:
   platform plus the CXL expander and remote-socket configurations;
 - :mod:`repro.workloads`, :mod:`repro.traces`, :mod:`repro.analysis`,
   :mod:`repro.experiments` — evaluation workloads, trace-driven replay,
-  comparison tooling, and one module per paper table/figure.
+  comparison tooling, and one module per paper table/figure;
+- :mod:`repro.runner` — a process-pool experiment runner with a
+  content-addressed on-disk cache and JSON run manifests.
 
 Quickstart::
 
@@ -59,6 +61,7 @@ from .errors import (
 )
 from .profiling import MessProfile, sample_phase_profile, sample_system
 from .request import AccessType, MemoryRequest
+from .runner import ResultCache, RunManifest, run_many
 
 __version__ = "1.0.0"
 
@@ -78,6 +81,8 @@ __all__ = [
     "MessMemorySimulator",
     "MessProfile",
     "ProfilingError",
+    "ResultCache",
+    "RunManifest",
     "SimulationError",
     "StressScorer",
     "System",
@@ -86,6 +91,7 @@ __all__ = [
     "characterize_model",
     "compute_metrics",
     "default_scorer",
+    "run_many",
     "sample_phase_profile",
     "sample_system",
     "__version__",

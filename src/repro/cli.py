@@ -7,9 +7,16 @@ memory system from scratch.
 Commands
 --------
 ``list``
-    Show every registered experiment id with its title.
-``run <experiment> [--scale S] [--csv PATH]``
-    Run one experiment and print its table; optionally dump the rows.
+    Show every registered experiment with its title, tags and cost.
+``run [EXPERIMENT ...] [--all] [--jobs N] [--scale S] [--opt K=V]
+[--cache-dir DIR] [--no-cache] [--manifest PATH] [--csv PATH]``
+    Run one or many experiments — in parallel with ``--jobs``, through
+    the content-addressed on-disk cache unless ``--no-cache`` — print
+    their tables, and write a JSON run manifest (wall times, row
+    counts, cache hits, result digests).
+``cache {info,clear} [--cache-dir DIR]``
+    Inspect or empty the on-disk cache (default ``~/.cache/repro-mess``,
+    overridable via ``$REPRO_CACHE_DIR``).
 ``curves <platform> [--csv PATH]``
     Print (and optionally save) a preset platform's curve family.
 ``characterize [--cores N] [--channels C] [--preset TIMING]``
@@ -20,6 +27,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 
 from .bench.harness import MessBenchmark, MessBenchmarkConfig
@@ -27,7 +35,7 @@ from .core.metrics import compute_metrics
 from .cpu.system import SystemConfig
 from .dram.timing import PRESETS, preset
 from .errors import MessError
-from .experiments.registry import EXPERIMENTS, run_experiment
+from .experiments.registry import SPECS, experiment_ids
 from .memmodels.cycle_accurate import CycleAccurateModel
 from .platforms.presets import (
     TABLE_I_PLATFORMS,
@@ -36,6 +44,7 @@ from .platforms.presets import (
     optane_family,
     remote_socket_family,
 )
+from .runner import ResultCache, run_many
 
 _SPECIAL_FAMILIES = {
     "cxl": cxl_expander_family,
@@ -54,18 +63,120 @@ def _platform_families() -> dict:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    for experiment_id, runner in EXPERIMENTS.items():
-        doc = (runner.__module__ or "").split(".")[-1]
-        print(f"{experiment_id:10s} ({doc})")
+    for experiment_id in experiment_ids():
+        spec = SPECS[experiment_id]
+        extra = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        opts = (
+            f" options: {', '.join(sorted(spec.params))}" if spec.params else ""
+        )
+        print(f"{experiment_id:10s} {spec.cost:9s} {spec.title}{extra}{opts}")
     return 0
 
 
+def _parse_options(pairs: list[str]) -> dict:
+    """``--opt key=value`` pairs -> a keyword-option dict.
+
+    Values are parsed as Python literals when possible (``1``, ``2.5``,
+    ``True``, ``None``) and fall back to plain strings otherwise.
+    """
+    options: dict = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"error: --opt expects key=value, got {pair!r}")
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        options[key] = value
+    return options
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, scale=args.scale)
-    print(result.format_table())
+    ids = list(args.experiments)
+    if args.all:
+        if ids:
+            print(
+                "error: give experiment ids or --all, not both",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        ids = experiment_ids()
+    if not ids:
+        print("error: no experiments given (try --all)", file=sys.stderr)
+        raise SystemExit(2)
+    unknown = sorted(set(ids) - set(SPECS))
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {unknown}; available: "
+            + " ".join(experiment_ids()),
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+    options = _parse_options(args.opt)
+    if options and len(ids) != 1:
+        print(
+            "error: --opt applies to a single experiment", file=sys.stderr
+        )
+        raise SystemExit(2)
+
+    total = len(ids)
+    done = 0
+
+    def progress(record) -> None:
+        nonlocal done
+        done += 1
+        status = "ok" if record.status == "ok" else f"ERROR ({record.error})"
+        print(
+            f"[{done}/{total}] {record.experiment_id:10s} {status}  "
+            f"{record.duration_s:6.2f}s  rows={record.rows}  "
+            f"cache_hits={record.cache_hits}",
+            flush=True,
+        )
+
+    outcome = run_many(
+        ids,
+        jobs=args.jobs,
+        scale=args.scale,
+        options={ids[0]: options} if options else None,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    for experiment_id in ids:
+        result = outcome.results.get(experiment_id)
+        if result is not None:
+            print()
+            print(result.format_table())
     if args.csv:
-        result.to_csv(args.csv)
-        print(f"rows written to {args.csv}")
+        if total != 1:
+            print("error: --csv applies to a single experiment", file=sys.stderr)
+            raise SystemExit(2)
+        result = outcome.results.get(ids[0])
+        if result is not None:
+            result.to_csv(args.csv)
+            print(f"rows written to {args.csv}")
+    manifest_path = args.manifest or ("run-manifest.json" if args.all else None)
+    if manifest_path:
+        outcome.manifest.write(manifest_path)
+        print(f"manifest written to {manifest_path}")
+    print(outcome.manifest.summary())
+    return 0 if outcome.manifest.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root: {info['root']}")
+        print(f"entries:    {info['entries']}")
+        print(f"size:       {info['bytes'] / 1e6:.2f} MB")
+        for kind, count in sorted(info["kinds"].items()):
+            print(f"  {kind}: {count}")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
 
 
@@ -142,11 +253,57 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
-    run_parser = commands.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser = commands.add_parser(
+        "run", help="run one or many experiments (parallel, cached)"
+    )
+    run_parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (see `repro list`)",
+    )
+    run_parser.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default 1: run inline)",
+    )
     run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="experiment option (repeatable; single experiment only)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None, help="override the on-disk cache location"
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk cache entirely",
+    )
+    run_parser.add_argument(
+        "--manifest",
+        default=None,
+        help="run-manifest path (default: run-manifest.json with --all)",
+    )
     run_parser.add_argument("--csv", default=None)
     run_parser.set_defaults(func=_cmd_run)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument(
+        "--cache-dir", default=None, help="override the on-disk cache location"
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     curves_parser = commands.add_parser(
         "curves", help="print a preset platform's curve family"

@@ -1,12 +1,26 @@
 """One module per paper table/figure; see :mod:`repro.experiments.registry`."""
 
 from .base import ExperimentResult, scaled
-from .registry import EXPERIMENTS, experiment_ids, run_experiment
+from .registry import (
+    EXPERIMENTS,
+    SPECS,
+    ExperimentSpec,
+    experiment_ids,
+    get_spec,
+    register,
+    run_experiment,
+    validate_options,
+)
 
 __all__ = [
     "EXPERIMENTS",
+    "SPECS",
     "ExperimentResult",
+    "ExperimentSpec",
     "experiment_ids",
+    "get_spec",
+    "register",
     "run_experiment",
     "scaled",
+    "validate_options",
 ]

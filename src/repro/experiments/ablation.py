@@ -20,6 +20,7 @@ from ..memmodels.cycle_accurate import CycleAccurateModel
 from ..platforms.presets import INTEL_SKYLAKE, family
 from ..traces.driver import replay_trace, replay_trace_frfcfs, synthesize_mess_trace
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "ablation"
 
@@ -55,6 +56,7 @@ def _drive_simulator(
     return settle, final
 
 
+@register("ablation", title="Design-choice ablations", tags=("ablation",), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

@@ -12,9 +12,12 @@ underlying data series, printed as tables and dumpable to CSV.
 from __future__ import annotations
 
 import csv
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 from ..errors import ConfigurationError
 
@@ -92,6 +95,50 @@ class ExperimentResult:
             writer = csv.DictWriter(handle, fieldnames=self.columns)
             writer.writeheader()
             writer.writerows(self.rows)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (mirrors CurveFamily.to_dict / from_dict)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the result."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            result = cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                columns=list(payload["columns"]),
+            )
+            rows = payload.get("rows", [])
+            notes = payload.get("notes", [])
+            for row in rows:
+                result.add(**row)
+            for note in notes:
+                result.note(str(note))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed experiment-result payload: {exc}"
+            ) from exc
+        return result
+
+    def digest(self) -> str:
+        """Stable content hash of the full result (hex sha256).
+
+        Used by the run manifest and the result cache to detect when two
+        runs produced identical tables.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def scaled(base: int, scale: float, minimum: int = 1) -> int:

@@ -101,6 +101,10 @@ def measured_family(
         config=bench_sweep(scale),
         name=key,
         theoretical_bandwidth_gbps=theoretical_bandwidth_gbps,
+        # second cache level: when a content-addressed disk cache is
+        # active (runner / CLI), the sweep is memoized across processes
+        # and invocations, not just within this one
+        cache_key=key,
     )
     family = bench.run()
     _FAMILY_CACHE[cache_key] = family

@@ -16,9 +16,11 @@ from ..analysis.compare import compare_families
 from ..bench.harness import MessBenchmark
 from ..core.simulator import MessMemorySimulator
 from ..dram.timing import DDR4_2666, DDR5_4800, HBM2
+from ..errors import ConfigurationError
 from ..memmodels.cycle_accurate import CycleAccurateModel
 from .base import ExperimentResult
 from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config, measured_family
+from .registry import register
 
 EXPERIMENT_ID = "fig10"
 
@@ -31,7 +33,30 @@ SUBFIGURES = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def _select_subfigures(memories: str | None):
+    """Resolve the ``memories`` option to a subset of the subfigures."""
+    if memories is None:
+        return SUBFIGURES
+    by_label = {label: entry for entry in SUBFIGURES for label in (entry[0],)}
+    selected = []
+    for token in str(memories).split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token not in by_label:
+            raise ConfigurationError(
+                f"{EXPERIMENT_ID}: unknown memory {token!r}; "
+                f"available: {sorted(by_label)}"
+            )
+        if by_label[token] not in selected:
+            selected.append(by_label[token])
+    if not selected:
+        raise ConfigurationError(f"{EXPERIMENT_ID}: empty memory selection")
+    return tuple(selected)
+
+
+@register("fig10", title="ZSim-style system with the Mess simulator vs actual curves", tags=("mess-simulator", "validation"), cost="expensive")
+def run(scale: float = 1.0, *, memories: str | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title="ZSim-style system with the Mess simulator vs actual curves",
@@ -44,7 +69,7 @@ def run(scale: float = 1.0) -> ExperimentResult:
         ],
     )
     overhead = BENCH_HIERARCHY.total_hit_path_ns
-    for label, timing, channels in SUBFIGURES:
+    for label, timing, channels in _select_subfigures(memories):
         actual = measured_family(
             f"actual-{label}",
             lambda t=timing, c=channels: CycleAccurateModel(

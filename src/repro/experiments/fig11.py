@@ -24,6 +24,7 @@ from ..workloads.multichase import Multichase
 from ..workloads.stream import StreamWorkload
 from .base import ExperimentResult, scaled
 from .common import BENCH_HIERARCHY, bench_system_config, measured_family
+from .registry import register
 
 EXPERIMENT_ID = "fig11"
 
@@ -31,6 +32,7 @@ _THEORETICAL = 128.0
 _CORES = 12
 
 
+@register("fig11", title="ZSim memory-model accuracy and speed vs the actual platform", tags=("mess-simulator", "accuracy"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
     overhead = BENCH_HIERARCHY.total_hit_path_ns
     mess_family = measured_family(

@@ -17,6 +17,7 @@ from ..core.simulator import MessMemorySimulator
 from ..platforms.presets import AMAZON_GRAVITON3, FUJITSU_A64FX, family
 from .base import ExperimentResult
 from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config
+from .registry import register
 
 EXPERIMENT_ID = "fig12"
 
@@ -27,6 +28,7 @@ SUBFIGURES = (
 )
 
 
+@register("fig12", title="gem5-style system + Mess on one channel, scaled to full", tags=("mess-simulator", "gem5"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

@@ -20,6 +20,7 @@ from ..workloads.multichase import Multichase
 from ..workloads.stream import StreamWorkload
 from .base import ExperimentResult, scaled
 from .common import BENCH_HIERARCHY, bench_system_config, measured_family
+from .registry import register
 
 EXPERIMENT_ID = "fig13"
 
@@ -28,6 +29,7 @@ _THEORETICAL = DDR5_4800.channel_peak_gbps * _CHANNELS
 _CORES = 12
 
 
+@register("fig13", title="gem5 memory-model accuracy on the DDR5 substrate", tags=("mess-simulator", "gem5"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
     overhead = BENCH_HIERARCHY.total_hit_path_ns
     mess_family = measured_family(

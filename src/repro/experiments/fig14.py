@@ -20,6 +20,7 @@ from ..core.simulator import MessMemorySimulator
 from ..memmodels.cxl import CxlExpanderModel
 from .base import ExperimentResult, scaled
 from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config
+from .registry import register
 
 EXPERIMENT_ID = "fig14"
 
@@ -54,6 +55,7 @@ SYSTEMS = (
 )
 
 
+@register("fig14", title="CXL expander: manufacturer model vs Mess in three simulators", tags=("cxl", "validation"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

@@ -15,10 +15,12 @@ from ..profiling.profile import MessProfile
 from ..profiling.sampler import sample_phase_profile
 from ..workloads.hpcg import HpcgPhaseProfile
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "fig15"
 
 
+@register("fig15", title="HPCG positioned on the Cascade Lake bandwidth-latency curves", tags=("profiling", "hpcg"), cost="cheap")
 def run(scale: float = 1.0) -> ExperimentResult:
     curves = family(INTEL_CASCADE_LAKE)
     metrics = compute_metrics(curves)

@@ -17,10 +17,12 @@ from ..profiling.sampler import sample_phase_profile
 from ..profiling.timeline import render_timeline, split_iterations
 from ..workloads.hpcg import HpcgPhaseProfile
 from .base import ExperimentResult
+from .registry import register
 
 EXPERIMENT_ID = "fig16"
 
 
+@register("fig16", title="HPCG timeline: iterations, phases and memory stress", tags=("profiling", "hpcg"), cost="cheap")
 def run(scale: float = 1.0) -> ExperimentResult:
     curves = family(INTEL_CASCADE_LAKE)
     metrics = compute_metrics(curves)

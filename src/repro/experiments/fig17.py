@@ -16,12 +16,14 @@ from ..workloads.spec_mix import (
     performance_delta_pct,
 )
 from .base import ExperimentResult
+from .registry import register
 
 EXPERIMENT_ID = "fig17"
 
 _CASES = ("perlbench", "lbm")
 
 
+@register("fig17", title="Remote-socket emulation of CXL: perlbench and lbm", tags=("cxl", "spec"), cost="cheap")
 def run(scale: float = 1.0) -> ExperimentResult:
     cxl = cxl_expander_family()
     remote = remote_socket_family()

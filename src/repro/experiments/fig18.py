@@ -16,10 +16,12 @@ from ..workloads.spec_mix import (
     performance_delta_pct,
 )
 from .base import ExperimentResult
+from .registry import register
 
 EXPERIMENT_ID = "fig18"
 
 
+@register("fig18", title="Remote-socket vs CXL performance across SPEC CPU2006", tags=("cxl", "spec"), cost="cheap")
 def run(scale: float = 1.0) -> ExperimentResult:
     cxl = cxl_expander_family()
     remote = remote_socket_family()

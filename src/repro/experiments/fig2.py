@@ -12,10 +12,12 @@ from __future__ import annotations
 from ..core.metrics import compute_metrics
 from ..platforms.presets import INTEL_SKYLAKE, family
 from .base import ExperimentResult
+from .registry import register
 
 EXPERIMENT_ID = "fig2"
 
 
+@register("fig2", title="Skylake bandwidth-latency curve family with derived metrics", tags=("curves",), cost="cheap")
 def run(scale: float = 1.0) -> ExperimentResult:
     spec = INTEL_SKYLAKE
     curves = family(spec)

@@ -9,13 +9,37 @@ generated families rather than asserted.
 from __future__ import annotations
 
 from ..core.metrics import compute_metrics
+from ..errors import ConfigurationError
 from ..platforms.presets import AMD_ZEN2, TABLE_I_PLATFORMS, family
 from .base import ExperimentResult
+from .registry import register
 
 EXPERIMENT_ID = "fig3"
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def _select_platforms(platforms: str | None):
+    """Resolve the ``platforms`` option to a subset of Table I specs."""
+    if platforms is None:
+        return list(TABLE_I_PLATFORMS)
+    selected = []
+    for token in str(platforms).split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        matches = [s for s in TABLE_I_PLATFORMS if token in s.name.lower()]
+        if not matches:
+            raise ConfigurationError(
+                f"{EXPERIMENT_ID}: no platform matches {token!r}; "
+                f"available: {[s.name for s in TABLE_I_PLATFORMS]}"
+            )
+        selected.extend(m for m in matches if m not in selected)
+    if not selected:
+        raise ConfigurationError(f"{EXPERIMENT_ID}: empty platform selection")
+    return selected
+
+
+@register("fig3", title="Bandwidth-latency curves of the eight platforms under study", tags=("curves",), cost="cheap")
+def run(scale: float = 1.0, *, platforms: str | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title="Bandwidth-latency curves of the eight platforms under study",
@@ -26,7 +50,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
             "latency_ns",
         ],
     )
-    for spec in TABLE_I_PLATFORMS:
+    selected = _select_platforms(platforms)
+    for spec in selected:
         curves = family(spec)
         for curve in curves:
             for bandwidth, latency in zip(
@@ -43,6 +68,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
             result.note(
                 f"{spec.name}: {metrics.waveform_curves} waveform curves"
             )
+    if AMD_ZEN2 not in selected:
+        return result
     zen2 = family(AMD_ZEN2)
     peaks = {c.read_ratio: c.max_bandwidth_gbps for c in zen2}
     trough = min(peaks, key=peaks.get)

@@ -19,6 +19,7 @@ from ..memmodels.internal_ddr import InternalDdrModel
 from ..memmodels.simple_bw import SimpleBandwidthModel
 from ..platforms.presets import AMAZON_GRAVITON3, family
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "fig4"
 
@@ -60,6 +61,7 @@ def model_factories() -> dict:
     }
 
 
+@register("fig4", title="Graviton 3 actual system vs gem5 memory models", tags=("simulators", "gem5"), cost="moderate")
 def run(scale: float = 1.0) -> ExperimentResult:
     reference = family(AMAZON_GRAVITON3)
     config = _probe_config(scale)

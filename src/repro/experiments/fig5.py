@@ -19,6 +19,7 @@ from ..memmodels.internal_ddr import InternalDdrModel
 from ..memmodels.md1 import MD1QueueModel
 from ..platforms.presets import INTEL_SKYLAKE, family
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "fig5"
 
@@ -57,6 +58,7 @@ def _probe_config(scale: float) -> ProbeConfig:
     )
 
 
+@register("fig5", title="Skylake actual system vs five ZSim memory models", tags=("simulators", "zsim"), cost="moderate")
 def run(scale: float = 1.0) -> ExperimentResult:
     reference = family(INTEL_SKYLAKE)
     config = _probe_config(scale)

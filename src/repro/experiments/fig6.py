@@ -15,6 +15,7 @@ from ..memmodels.flawed import DRAMsim3Analog, Ramulator2Analog, RamulatorAnalog
 from ..dram.timing import DDR4_2666
 from ..traces.driver import replay_trace, synthesize_mess_trace
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "fig6"
 
@@ -32,6 +33,7 @@ def model_factories() -> dict:
     }
 
 
+@register("fig6", title="Trace-driven cycle-accurate simulators vs actual curves", tags=("simulators", "trace-driven"), cost="moderate")
 def run(scale: float = 1.0) -> ExperimentResult:
     read_ratios = (0.5, 0.75, 1.0) if scale < 1.5 else (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
     pressures = (

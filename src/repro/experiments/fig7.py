@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..analysis.rowbuffer import census_sweep
 from ..dram.timing import DDR4_2666
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "fig7"
 
@@ -45,6 +46,7 @@ def ramulator_signature(read_ratio: float, bandwidth_gbps: float) -> tuple:
     return hit, empty, miss
 
 
+@register("fig7", title="Row-buffer statistics: actual vs DRAMsim3 vs Ramulator", tags=("dram", "row-buffer"), cost="moderate")
 def run(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

@@ -21,6 +21,7 @@ from ..bench.traffic_gen import read_ratio_for_store_fraction
 from ..memmodels.fixed import FixedLatencyModel
 from .base import ExperimentResult, scaled
 from .common import bench_system_config
+from .registry import register
 
 EXPERIMENT_ID = "openpiton"
 
@@ -39,6 +40,7 @@ def _sweep(scale: float) -> MessBenchmarkConfig:
     )
 
 
+@register("openpiton", title="OpenPiton: MSHR-limited bandwidth and the coherency bug", tags=("openpiton", "case-study"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

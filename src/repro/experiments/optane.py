@@ -17,6 +17,7 @@ from ..memmodels.optane import OptaneModel
 from ..platforms.presets import optane_family
 from ..request import AccessType, MemoryRequest
 from .base import ExperimentResult, scaled
+from .registry import register
 
 EXPERIMENT_ID = "optane"
 
@@ -39,6 +40,7 @@ def probed_curves(scale: float = 1.0):
     )
 
 
+@register("optane", title="Optane App Direct: device model, curves, Mess simulation", tags=("optane", "case-study"), cost="cheap")
 def run(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

@@ -1,0 +1,30 @@
+"""Parallel experiment runner with a content-addressed result cache.
+
+Three pieces:
+
+- :mod:`repro.runner.cache` — an on-disk, content-addressed cache for
+  characterization sweeps and experiment results (atomic writes,
+  corruption-tolerant reads), plus the process-global activation switch
+  the benchmark harness consults;
+- :mod:`repro.runner.pool` — :func:`run_many`, the process-pool fan-out
+  used by ``python -m repro run --all --jobs N``;
+- :mod:`repro.runner.manifest` — the JSON run manifest recording
+  per-experiment wall time, row counts, cache traffic and result
+  digests.
+"""
+
+from .cache import ResultCache, activate, active_cache, deactivate, default_cache_dir
+from .manifest import ExperimentRecord, RunManifest
+from .pool import RunOutcome, run_many
+
+__all__ = [
+    "ExperimentRecord",
+    "ResultCache",
+    "RunManifest",
+    "RunOutcome",
+    "activate",
+    "active_cache",
+    "deactivate",
+    "default_cache_dir",
+    "run_many",
+]

@@ -1,0 +1,231 @@
+"""Content-addressed on-disk cache for characterizations and results.
+
+The expensive step of every experiment is characterization: one curve
+family is a full store-fraction × nop-count sweep over the cycle-level
+CPU+DRAM substrate. This cache memoizes those sweeps (and whole
+experiment results) on disk so repeat runs are near-instant, keyed by a
+stable hash of the *complete* configuration plus the package version —
+change any sweep parameter, system knob or the code version and the key
+changes with it.
+
+Design rules:
+
+- **Atomic writes.** Entries are written to a temporary file in the
+  destination directory and ``os.replace``d into place, so a concurrent
+  reader (or a killed worker) never observes a half-written entry.
+- **Corruption is never fatal.** A truncated, unparsable or
+  wrong-shaped entry is discarded on read and the value is recomputed;
+  a cache must never be able to fail a run.
+- **Failures to write are non-fatal too.** A read-only or full disk
+  degrades to "no cache", not to an error.
+
+The default location is ``~/.cache/repro-mess``; override it with the
+``REPRO_CACHE_DIR`` environment variable or ``--cache-dir`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Mapping
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_DEFAULT_CACHE_DIR = "~/.cache/repro-mess"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mess``."""
+    return Path(os.environ.get(ENV_CACHE_DIR) or _DEFAULT_CACHE_DIR).expanduser()
+
+
+def _package_version() -> str:
+    # imported lazily: this module must stay importable while the repro
+    # package itself is still initializing
+    try:
+        from repro import __version__
+
+        return str(__version__)
+    except Exception:  # pragma: no cover - partial-init fallback
+        return "unknown"
+
+
+def stable_digest(payload: object) -> str:
+    """Hex sha256 of a canonical JSON encoding of ``payload``.
+
+    ``sort_keys`` plus compact separators make the encoding independent
+    of dict insertion order; non-JSON values fall back to ``str`` so
+    configuration objects can carry e.g. ``Path`` members.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A content-addressed store of JSON payloads under one root.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out keeps any
+    single directory small) and wrap the payload with its key and kind
+    so :meth:`get` can reject entries that landed at the wrong path.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def key_for(self, kind: str, config: Mapping) -> str:
+        """Cache key for one (kind, configuration) pair.
+
+        The package version is folded in so a new release never replays
+        stale entries from an older model of the hardware.
+        """
+        return stable_digest(
+            {"kind": kind, "config": config, "version": _package_version()}
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> dict | list | None:
+        """The payload stored under ``key``, or ``None``.
+
+        Any failure — missing file, unreadable file, invalid JSON, or a
+        wrapper whose recorded key disagrees with the path — counts as a
+        miss; corrupted entries are deleted so they are recomputed once,
+        not re-parsed forever.
+        """
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            # json.loads handles the UTF-8 decode: undecodable bytes
+            # surface as ValueError and take the corruption path
+            entry = json.loads(data)
+            if entry["key"] != key:
+                raise ValueError("key mismatch")
+            payload = entry["payload"]
+        except (ValueError, TypeError, KeyError):
+            self.discard(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict | list, kind: str = "") -> bool:
+        """Store ``payload`` under ``key`` atomically; False on failure."""
+        path = self._path(key)
+        entry = {"key": key, "kind": kind, "payload": payload}
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_name, path)
+            return True
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return False
+
+    def discard(self, key: str) -> None:
+        """Best-effort removal of one entry."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the cache."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def info(self) -> dict:
+        """Summary statistics: root, entry count, total bytes."""
+        count = 0
+        total = 0
+        kinds: dict[str, int] = {}
+        for path in self.entries():
+            count += 1
+            try:
+                total += path.stat().st_size
+                kind = json.loads(path.read_text()).get("kind") or "unknown"
+            except (OSError, ValueError, AttributeError):
+                kind = "corrupt"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": total,
+            "kinds": kinds,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Process-global active cache
+# ----------------------------------------------------------------------
+#
+# The benchmark harness sits far below the runner and must not grow a
+# cache parameter on every constructor in between, so activation is a
+# process-global switch: the runner (or CLI) activates a cache, the
+# harness consults whatever is active. Nothing is active by default —
+# importing the package never touches the filesystem.
+
+_ACTIVE: ResultCache | None = None
+
+
+def activate(cache: ResultCache | None = None) -> ResultCache:
+    """Install ``cache`` (or a default-location one) as the active cache."""
+    global _ACTIVE
+    _ACTIVE = cache if cache is not None else ResultCache()
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    """Remove the active cache; subsequent runs recompute everything."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_cache() -> ResultCache | None:
+    """The currently active cache, if any."""
+    return _ACTIVE

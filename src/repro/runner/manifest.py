@@ -1,0 +1,142 @@
+"""Run manifests: what ran, how long it took, what came out.
+
+Every :func:`repro.runner.run_many` invocation produces a manifest — a
+JSON document recording, per experiment, the options it ran with, its
+wall time, row count, cache traffic and a content digest of its result
+table. Manifests make runs comparable: two runs whose digests agree
+produced byte-identical tables, whatever their job counts or cache
+states were.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..errors import ConfigurationError
+
+#: Manifest schema version, bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """Telemetry for one experiment within a run."""
+
+    experiment_id: str
+    status: str  # "ok" | "error"
+    duration_s: float = 0.0
+    rows: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    result_digest: str | None = None
+    scale: float = 1.0
+    options: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentRecord":
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"malformed experiment record: {exc}"
+            ) from exc
+
+
+@dataclass
+class RunManifest:
+    """One ``run_many`` invocation, summarized."""
+
+    jobs: int = 1
+    scale: float = 1.0
+    cache_dir: str | None = None
+    package_version: str = ""
+    started_at: float = field(default_factory=time.time)
+    wall_time_s: float = 0.0
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when every experiment completed."""
+        return all(record.status == "ok" for record in self.records)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(record.cache_hits for record in self.records)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(record.rows for record in self.records)
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output and logs."""
+        failed = sum(1 for r in self.records if r.status != "ok")
+        parts = [
+            f"{len(self.records)} experiment(s)",
+            f"{self.total_rows} rows",
+            f"{self.wall_time_s:.1f}s wall",
+            f"jobs={self.jobs}",
+            f"cache hits={self.total_cache_hits}",
+        ]
+        if failed:
+            parts.append(f"FAILED={failed}")
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "jobs": self.jobs,
+            "scale": self.scale,
+            "cache_dir": self.cache_dir,
+            "package_version": self.package_version,
+            "started_at": self.started_at,
+            "wall_time_s": self.wall_time_s,
+            "experiments": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunManifest":
+        try:
+            manifest = cls(
+                jobs=payload.get("jobs", 1),
+                scale=payload.get("scale", 1.0),
+                cache_dir=payload.get("cache_dir"),
+                package_version=payload.get("package_version", ""),
+                started_at=payload.get("started_at", 0.0),
+                wall_time_s=payload.get("wall_time_s", 0.0),
+                records=[
+                    ExperimentRecord.from_dict(entry)
+                    for entry in payload.get("experiments", [])
+                ],
+            )
+        except (TypeError, AttributeError) as exc:
+            raise ConfigurationError(f"malformed run manifest: {exc}") from exc
+        return manifest
+
+    def write(self, path: str | Path) -> None:
+        """Write the manifest as indented JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def read(cls, path: str | Path) -> "RunManifest":
+        """Read a manifest written by :meth:`write`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(f"cannot read manifest {path}: {exc}") from exc
+        return cls.from_dict(payload)

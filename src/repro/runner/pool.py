@@ -1,0 +1,271 @@
+"""Fan experiments out across worker processes.
+
+:func:`run_many` is the engine behind ``python -m repro run --all
+--jobs N``: it validates the requested experiment ids and options up
+front, executes them inline (``jobs=1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`, streams a per-
+experiment telemetry record to an optional progress callback as each
+one finishes, and returns every result plus a
+:class:`~repro.runner.manifest.RunManifest`.
+
+Determinism: each experiment runs entirely inside one process with
+fixed seeds, and every result — cold, cached, serial or parallel — is
+normalized through the same JSON round-trip, so ``--jobs 1`` and
+``--jobs N`` produce byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from ..errors import ConfigurationError, MessError
+from . import cache as cache_mod
+from .cache import ResultCache
+from .manifest import ExperimentRecord, RunManifest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.base import ExperimentResult
+
+# NOTE: ``repro.experiments`` is imported lazily throughout this module.
+# The benchmark harness (far below the experiments) imports
+# ``repro.runner`` for the cache hook, so a module-level import of the
+# experiments package here would be circular.
+
+#: Called with each experiment's record as it completes (any order).
+ProgressCallback = Callable[[ExperimentRecord], None]
+
+
+@dataclass
+class RunOutcome:
+    """Everything one ``run_many`` invocation produced."""
+
+    results: "dict[str, ExperimentResult]" = field(default_factory=dict)
+    manifest: RunManifest = field(default_factory=RunManifest)
+
+
+def _ensure_cache(cache_dir: str | None, use_cache: bool) -> ResultCache | None:
+    """Activate (or reuse) the process cache; deactivate when disabled.
+
+    Workers forked from a caching parent inherit its active cache; this
+    keeps it when compatible and replaces it when the directory differs.
+    """
+    if not use_cache:
+        cache_mod.deactivate()
+        return None
+    active = cache_mod.active_cache()
+    wanted = Path(cache_dir).expanduser() if cache_dir else None
+    if active is not None and (wanted is None or active.root == wanted):
+        return active
+    return cache_mod.activate(ResultCache(wanted))
+
+
+def _execute_one(
+    experiment_id: str,
+    scale: float,
+    options: dict,
+    cache_dir: str | None,
+    use_cache: bool,
+) -> dict:
+    """Run one experiment (in a worker or inline) and report telemetry.
+
+    Module-level so it pickles for the process pool. The whole
+    experiment result is memoized in the content-addressed cache; on a
+    miss the run still benefits from the harness-level characterization
+    cache underneath.
+    """
+    from ..experiments.base import ExperimentResult
+    from ..experiments.registry import run_experiment
+
+    cache = _ensure_cache(cache_dir, use_cache)
+    hits_before = cache.hits if cache else 0
+    misses_before = cache.misses if cache else 0
+    start = time.perf_counter()
+
+    key = None
+    payload = None
+    if cache is not None:
+        key = cache.key_for(
+            "result",
+            {"experiment_id": experiment_id, "scale": scale, "options": options},
+        )
+        payload = cache.get(key)
+        if payload is not None:
+            try:
+                ExperimentResult.from_dict(payload)
+            except MessError:
+                cache.discard(key)
+                payload = None
+    if payload is None:
+        result = run_experiment(experiment_id, scale=scale, **options)
+        # one JSON round-trip so cached and fresh results carry
+        # identically-typed rows (e.g. tuples become lists either way)
+        payload = json.loads(json.dumps(result.to_dict()))
+        if cache is not None and key is not None:
+            cache.put(key, payload, kind="result")
+
+    return {
+        "experiment_id": experiment_id,
+        "payload": payload,
+        "duration_s": time.perf_counter() - start,
+        "cache_hits": (cache.hits - hits_before) if cache else 0,
+        "cache_misses": (cache.misses - misses_before) if cache else 0,
+    }
+
+
+def _record_from(
+    raw: dict, scale: float, options: dict
+) -> "tuple[ExperimentRecord, ExperimentResult]":
+    from ..experiments.base import ExperimentResult
+
+    result = ExperimentResult.from_dict(raw["payload"])
+    record = ExperimentRecord(
+        experiment_id=raw["experiment_id"],
+        status="ok",
+        duration_s=raw["duration_s"],
+        rows=len(result.rows),
+        cache_hits=raw["cache_hits"],
+        cache_misses=raw["cache_misses"],
+        result_digest=result.digest(),
+        scale=scale,
+        options=dict(options),
+    )
+    return record, result
+
+
+def _error_record(
+    experiment_id: str, exc: BaseException, duration_s: float, scale: float, options: dict
+) -> ExperimentRecord:
+    detail = "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+    return ExperimentRecord(
+        experiment_id=experiment_id,
+        status="error",
+        duration_s=duration_s,
+        scale=scale,
+        options=dict(options),
+        error=detail,
+    )
+
+
+def run_many(
+    experiment_ids: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    scale: float = 1.0,
+    options: Mapping[str, Mapping[str, object]] | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    progress: ProgressCallback | None = None,
+) -> RunOutcome:
+    """Run many experiments, optionally in parallel, with caching.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Ids to run, in the order results should be reported; ``None``
+        means every registered experiment in paper order.
+    jobs:
+        Worker process count; ``1`` runs inline in this process.
+    options:
+        Per-experiment keyword options, keyed by experiment id.
+        Validated against each experiment's declared parameters before
+        anything is submitted.
+    cache_dir / use_cache:
+        Cache location override and master switch. Disabling the cache
+        also disables the harness-level characterization cache.
+    progress:
+        Callback receiving each :class:`ExperimentRecord` as it
+        completes (completion order, not submission order).
+
+    A failing experiment is recorded with ``status="error"`` and does
+    not abort the remaining ones; inspect ``outcome.manifest.ok``.
+    """
+    from ..experiments.registry import experiment_ids as registered_ids
+    from ..experiments.registry import validate_options
+
+    ids = list(experiment_ids) if experiment_ids is not None else registered_ids()
+    if not ids:
+        raise ConfigurationError("no experiments selected")
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(f"duplicate experiment ids in selection: {ids}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+
+    per_experiment = {key: dict(value) for key, value in (options or {}).items()}
+    stray = set(per_experiment) - set(ids)
+    if stray:
+        raise ConfigurationError(
+            f"options given for experiments not selected: {sorted(stray)}"
+        )
+    for experiment_id in ids:
+        validate_options(experiment_id, per_experiment.get(experiment_id, {}))
+
+    cache_dir_str = str(cache_dir) if cache_dir is not None else None
+    resolved_cache = (
+        str(ResultCache(cache_dir_str).root) if use_cache else None
+    )
+    manifest = RunManifest(
+        jobs=jobs,
+        scale=scale,
+        cache_dir=resolved_cache,
+        package_version=cache_mod._package_version(),
+    )
+    outcome = RunOutcome(manifest=manifest)
+    records: dict[str, ExperimentRecord] = {}
+    start = time.perf_counter()
+
+    def finish(experiment_id: str, record: ExperimentRecord) -> None:
+        records[experiment_id] = record
+        if progress is not None:
+            progress(record)
+
+    if jobs == 1 or len(ids) == 1:
+        for experiment_id in ids:
+            opts = per_experiment.get(experiment_id, {})
+            step_start = time.perf_counter()
+            try:
+                raw = _execute_one(
+                    experiment_id, scale, opts, cache_dir_str, use_cache
+                )
+                record, result = _record_from(raw, scale, opts)
+                outcome.results[experiment_id] = result
+            except MessError as exc:
+                record = _error_record(
+                    experiment_id, exc, time.perf_counter() - step_start, scale, opts
+                )
+            finish(experiment_id, record)
+    else:
+        workers = min(jobs, len(ids))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_one,
+                    experiment_id,
+                    scale,
+                    per_experiment.get(experiment_id, {}),
+                    cache_dir_str,
+                    use_cache,
+                ): experiment_id
+                for experiment_id in ids
+            }
+            for future in as_completed(futures):
+                experiment_id = futures[future]
+                opts = per_experiment.get(experiment_id, {})
+                try:
+                    raw = future.result()
+                    record, result = _record_from(raw, scale, opts)
+                    outcome.results[experiment_id] = result
+                except Exception as exc:  # worker died or experiment failed
+                    record = _error_record(experiment_id, exc, 0.0, scale, opts)
+                finish(experiment_id, record)
+
+    manifest.wall_time_s = time.perf_counter() - start
+    manifest.records = [records[experiment_id] for experiment_id in ids]
+    return outcome

@@ -14,6 +14,23 @@ from repro.core.curve import BandwidthLatencyCurve
 from repro.core.family import CurveFamily
 from repro.cpu.cache import CacheConfig, HierarchyConfig
 from repro.cpu.system import SystemConfig
+from repro.runner import cache as result_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the on-disk result cache away from ``~/.cache`` in tests.
+
+    Any test that runs experiments through the runner or CLI would
+    otherwise read and write the user's real cache; pointing the
+    environment override at a per-test directory and deactivating the
+    process-global cache afterwards keeps every test hermetic.
+    """
+    monkeypatch.setenv(
+        result_cache.ENV_CACHE_DIR, str(tmp_path / "repro-cache")
+    )
+    yield
+    result_cache.deactivate()
 
 
 @pytest.fixture

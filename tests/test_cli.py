@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,6 +17,13 @@ class TestList:
         assert "fig18" in out
         assert "ablation" in out
 
+    def test_lists_titles_and_costs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cheap" in out and "expensive" in out
+        assert "Skylake bandwidth-latency curve family" in out
+        assert "options: platforms" in out
+
 
 class TestRun:
     def test_runs_cheap_experiment(self, capsys, tmp_path):
@@ -27,6 +36,95 @@ class TestRun:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
+
+    def test_requires_some_selection(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_all_conflicts_with_explicit_ids(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig17", "--all"])
+
+    def test_multiple_experiments_with_jobs(self, capsys, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig2",
+                    "fig17",
+                    "--jobs",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--manifest",
+                    str(manifest),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        payload = json.loads(manifest.read_text())
+        assert {e["experiment_id"] for e in payload["experiments"]} == {
+            "fig2",
+            "fig17",
+        }
+        assert all(e["status"] == "ok" for e in payload["experiments"])
+
+    def test_opt_flag_passes_options(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig3",
+                    "--no-cache",
+                    "--opt",
+                    "platforms=skylake",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Skylake" in out
+        assert "Graviton" not in out
+
+    def test_opt_rejected_for_multiple_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "fig17", "--opt", "platforms=x"])
+
+    def test_malformed_opt_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig3", "--opt", "noequalsign"])
+
+    def test_bad_option_value_returns_error(self, capsys):
+        assert main(["run", "fig3", "--no-cache", "--opt", "bogus=1"]) == 1
+        assert "bogus" in capsys.readouterr().err
+
+    def test_warm_cache_reports_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig17", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig17", "--cache-dir", cache_dir]) == 0
+        assert "cache_hits=1" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig17", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    1" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
 
 
 class TestCurves:
