@@ -21,7 +21,11 @@ stand on:
   :mod:`repro.experiments` — evaluation workloads, trace-driven replay,
   comparison tooling, and one module per paper table/figure;
 - :mod:`repro.runner` — a process-pool experiment runner with a
-  content-addressed on-disk cache and JSON run manifests.
+  content-addressed on-disk cache and JSON run manifests;
+- :mod:`repro.telemetry` — observability: typed counters/gauges/
+  histograms, spans, and per-window control-loop traces, exportable as
+  JSONL, Chrome trace-event (Perfetto) and Prometheus text. Disabled by
+  default; ``telemetry.activate()`` turns collection on process-wide.
 
 Quickstart::
 
@@ -57,13 +61,16 @@ from .errors import (
     MessError,
     ProfilingError,
     SimulationError,
+    TelemetryError,
     TraceError,
 )
+from . import telemetry
 from .profiling import MessProfile, sample_phase_profile, sample_system
 from .request import AccessType, MemoryRequest
 from .runner import ResultCache, RunManifest, run_many
+from .telemetry import TelemetryRegistry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessType",
@@ -87,6 +94,8 @@ __all__ = [
     "StressScorer",
     "System",
     "SystemConfig",
+    "TelemetryError",
+    "TelemetryRegistry",
     "TraceError",
     "characterize_model",
     "compute_metrics",
@@ -94,5 +103,6 @@ __all__ = [
     "run_many",
     "sample_phase_profile",
     "sample_system",
+    "telemetry",
     "__version__",
 ]

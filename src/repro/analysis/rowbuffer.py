@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dram.controller import DramController
 from ..dram.timing import DramTiming
 from ..traces.driver import replay_trace, synthesize_mess_trace
 from ..traces.format import TraceRecord

@@ -11,6 +11,7 @@ one curve; sweeping store mixes produces the family.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
@@ -20,6 +21,7 @@ from ..cpu.system import System, SystemConfig
 from ..errors import BenchmarkError, CurveError
 from ..memmodels.base import MemoryModel, MemoryModelStats
 from ..runner import cache as result_cache
+from ..telemetry import registry as telemetry
 from .pointer_chase import pointer_chase_ops
 from .traffic_gen import (
     TrafficGenConfig,
@@ -110,10 +112,27 @@ class MessBenchmark:
         returned without simulating; otherwise the sweep runs and its
         outcome is stored for next time.
         """
+        tel = telemetry.active()
         cached = self._cached_family()
         if cached is not None:
+            if tel is not None:
+                tel.counter(
+                    "bench.characterization_cache_hits",
+                    help="characterization sweeps served from the cache",
+                ).inc()
             return cached
-        family = self._run_sweep()
+        if tel is not None:
+            tel.counter(
+                "bench.characterization_cache_misses",
+                help="characterization sweeps simulated from scratch",
+            ).inc()
+        span = (
+            tel.span("bench.characterize", category="bench", family=self.name)
+            if tel is not None
+            else nullcontext()
+        )
+        with span:
+            family = self._run_sweep()
         self._store_family(family)
         return family
 
@@ -193,6 +212,21 @@ class MessBenchmark:
         warmup window (cache fill, queue steady state), statistics are
         then re-armed and the measurement window produces the sample.
         """
+        tel = telemetry.active()
+        span = (
+            tel.span(
+                "bench.measure_point",
+                category="bench",
+                store_fraction=store_fraction,
+                nop_count=nop_count,
+            )
+            if tel is not None
+            else nullcontext()
+        )
+        with span:
+            return self._measure_point(store_fraction, nop_count)
+
+    def _measure_point(self, store_fraction: float, nop_count: int) -> PointResult:
         memory = self.memory_factory()
         system = System(self.system_config, memory)
         cfg = self.config

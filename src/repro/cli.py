@@ -9,14 +9,22 @@ Commands
 ``list``
     Show every registered experiment with its title, tags and cost.
 ``run [EXPERIMENT ...] [--all] [--jobs N] [--scale S] [--opt K=V]
-[--cache-dir DIR] [--no-cache] [--manifest PATH] [--csv PATH]``
+[--cache-dir DIR] [--no-cache] [--manifest PATH] [--csv PATH]
+[--trace PATH] [--metrics PATH]``
     Run one or many experiments — in parallel with ``--jobs``, through
     the content-addressed on-disk cache unless ``--no-cache`` — print
     their tables, and write a JSON run manifest (wall times, row
-    counts, cache hits, result digests).
-``cache {info,clear} [--cache-dir DIR]``
+    counts, cache hits, result digests). ``--trace`` collects telemetry
+    and writes a Chrome trace-event file (``chrome://tracing`` /
+    Perfetto); ``--metrics`` writes a Prometheus text snapshot; either
+    flag also embeds a per-experiment telemetry summary in the manifest.
+``cache {info,clear} [--cache-dir DIR] [--json]``
     Inspect or empty the on-disk cache (default ``~/.cache/repro-mess``,
-    overridable via ``$REPRO_CACHE_DIR``).
+    overridable via ``$REPRO_CACHE_DIR``). ``info --json`` emits a
+    machine-readable report with a per-entry size breakdown.
+``telemetry summarize PATH [--json]``
+    Roll up an exported telemetry file (Chrome trace or JSONL): span
+    durations, counter totals, control-loop sample ranges.
 ``curves <platform> [--csv PATH]``
     Print (and optionally save) a preset platform's curve family.
 ``characterize [--cores N] [--channels C] [--preset TIMING]``
@@ -28,8 +36,10 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 
+from . import telemetry
 from .bench.harness import MessBenchmark, MessBenchmarkConfig
 from .core.metrics import compute_metrics
 from .cpu.system import SystemConfig
@@ -135,6 +145,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    collect_telemetry = bool(args.trace or args.metrics)
     outcome = run_many(
         ids,
         jobs=args.jobs,
@@ -143,6 +154,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=progress,
+        collect_telemetry=collect_telemetry,
     )
     for experiment_id in ids:
         result = outcome.results.get(experiment_id)
@@ -157,6 +169,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if result is not None:
             result.to_csv(args.csv)
             print(f"rows written to {args.csv}")
+    if outcome.telemetry is not None:
+        if args.trace:
+            telemetry.write_chrome_trace(outcome.telemetry, args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            telemetry.write_prometheus(outcome.telemetry, args.metrics)
+            print(f"metrics written to {args.metrics}")
     manifest_path = args.manifest or ("run-manifest.json" if args.all else None)
     if manifest_path:
         outcome.manifest.write(manifest_path)
@@ -168,15 +187,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
+        if args.json:
+            print(json.dumps(cache.info(detail=True), indent=2, sort_keys=True))
+            return 0
         info = cache.info()
         print(f"cache root: {info['root']}")
         print(f"entries:    {info['entries']}")
         print(f"size:       {info['bytes'] / 1e6:.2f} MB")
         for kind, count in sorted(info["kinds"].items()):
-            print(f"  {kind}: {count}")
+            size = info["kind_bytes"].get(kind, 0)
+            print(f"  {kind}: {count} ({size / 1e6:.2f} MB)")
     else:  # clear
+        if getattr(args, "json", False):
+            print("error: --json applies to `cache info`", file=sys.stderr)
+            raise SystemExit(2)
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    summary = telemetry.summarize_file(args.path)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(telemetry.format_summary(summary))
     return 0
 
 
@@ -294,6 +329,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-manifest path (default: run-manifest.json with --all)",
     )
     run_parser.add_argument("--csv", default=None)
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="collect telemetry and write a Chrome trace-event file",
+    )
+    run_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="collect telemetry and write a Prometheus text snapshot",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     cache_parser = commands.add_parser(
@@ -303,7 +350,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--cache-dir", default=None, help="override the on-disk cache location"
     )
+    cache_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable `info` output with per-entry sizes",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    telemetry_parser = commands.add_parser(
+        "telemetry", help="summarize exported telemetry files"
+    )
+    telemetry_parser.add_argument("action", choices=("summarize",))
+    telemetry_parser.add_argument("path", metavar="PATH")
+    telemetry_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    telemetry_parser.set_defaults(func=_cmd_telemetry)
 
     curves_parser = commands.add_parser(
         "curves", help="print a preset platform's curve family"
@@ -334,6 +396,10 @@ def main(argv: list[str] | None = None) -> int:
     except MessError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not our error
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

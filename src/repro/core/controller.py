@@ -32,11 +32,17 @@ class PIController:
         ``messBW_{i+1} = messBW_i + convFactor * (cpuBW_i - messBW_i)``.
     integral_limit:
         Anti-windup clamp on the accumulated error magnitude.
+
+    The controller also keeps cheap introspection state for telemetry:
+    :attr:`updates` counts control iterations since construction/reset
+    and :attr:`last_error` holds the most recent ``observed - estimate``.
     """
 
     convergence_factor: float = 0.5
     integral_gain: float = 0.0
     integral_limit: float = 1e6
+    updates: int = field(default=0, repr=False)
+    last_error: float = field(default=0.0, repr=False)
     _integral: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
@@ -59,12 +65,26 @@ class PIController:
         self._integral = max(
             -self.integral_limit, min(self.integral_limit, self._integral + error)
         )
+        self.updates += 1
+        self.last_error = error
         return (
             estimate
             + self.convergence_factor * error
             + self.integral_gain * self._integral
         )
 
+    @property
+    def integral(self) -> float:
+        """The clamped error accumulator (anti-windup introspection)."""
+        return self._integral
+
+    @property
+    def integral_saturated(self) -> bool:
+        """True while the anti-windup clamp is limiting the accumulator."""
+        return abs(self._integral) >= self.integral_limit
+
     def reset(self) -> None:
         """Clear the integral accumulator (e.g. at a phase change)."""
         self._integral = 0.0
+        self.updates = 0
+        self.last_error = 0.0

@@ -19,12 +19,17 @@ from dataclasses import dataclass
 from ..errors import ConfigurationError
 from ..memmodels.base import MemoryModel, MemoryRequest
 from ..memmodels.queueing import SingleServerQueue
+from ..telemetry import registry as telemetry
 from ..units import CACHE_LINE_BYTES
 from .controller import PIController
 from .family import CurveFamily
 
 #: Simulation-window length used throughout the paper's evaluation.
 DEFAULT_WINDOW_OPS = 1000
+
+#: A window counts as converged when |cpuBW - messBW| is within this
+#: relative tolerance of the observed bandwidth.
+CONVERGENCE_TOLERANCE = 0.05
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,26 @@ class MessMemorySimulator(MemoryModel):
         )
         self.history: list[WindowRecord] = []
         self._window_index = 0
+        self.converged_at_window: int | None = None
+        # Null-sink fast path: when no registry is active, the only cost
+        # telemetry adds to the per-window path is one None check.
+        self._tel = telemetry.active()
+        if self._tel is not None:
+            self._tel_windows = self._tel.counter(
+                "sim.windows", help="Mess control-loop iterations completed"
+            )
+            self._tel_requests = self._tel.counter(
+                "sim.requests", help="memory requests served from the curves"
+            )
+            self._tel_error = self._tel.gauge(
+                "sim.controller_error_gbps",
+                help="last window's cpuBW - messBW controller error",
+            )
+            self._tel_converged = self._tel.gauge(
+                "sim.converged_window",
+                help="window index at first convergence (-1: not yet)",
+            )
+            self._tel_converged.set(-1)
         # Capacity pipe at the curves' maximum bandwidth. The latency
         # feedback alone cannot bound requesters that do not wait for
         # completions (hardware prefetchers, posted writes); the pipe
@@ -148,6 +173,8 @@ class MessMemorySimulator(MemoryModel):
         return self._mess_bw
 
     def _service_latency_ns(self, request: MemoryRequest) -> float:
+        if self._tel is not None:
+            self._tel_requests.inc()
         if self._window_start_ns is None:
             self._window_start_ns = request.issue_time_ns
         if request.access_type.is_write:
@@ -195,6 +222,11 @@ class MessMemorySimulator(MemoryModel):
         capacity = self.family.max_bandwidth_at(read_ratio)
         self._pipe.service_ns = CACHE_LINE_BYTES / max(1e-9, capacity)
         self._unloaded_ns = self._curve_latency(0.0, read_ratio)
+        if (
+            self.converged_at_window is None
+            and abs(self.controller.last_error) <= CONVERGENCE_TOLERANCE * cpu_bw
+        ):
+            self.converged_at_window = self._window_index
         if self.keep_history:
             self.history.append(
                 WindowRecord(
@@ -206,6 +238,20 @@ class MessMemorySimulator(MemoryModel):
                     read_ratio=read_ratio,
                     latency_ns=self._latency_ns,
                 )
+            )
+        if self._tel is not None:
+            self._tel_windows.inc()
+            self._tel_error.set(self.controller.last_error)
+            if self.converged_at_window is not None:
+                self._tel_converged.set(self.converged_at_window)
+            self._tel.sample(
+                "sim.window",
+                ts_us=now_ns / 1e3,
+                cpu_bw_gbps=cpu_bw,
+                mess_bw_gbps=self._mess_bw,
+                latency_ns=self._latency_ns,
+                error_gbps=self.controller.last_error,
+                read_ratio=read_ratio,
             )
         self._window_index += 1
         self._window_start_ns = None
@@ -225,6 +271,7 @@ class MessMemorySimulator(MemoryModel):
         self.controller.reset()
         self.history.clear()
         self._window_index = 0
+        self.converged_at_window = None
         self._pipe.reset()
         self._pipe.service_ns = CACHE_LINE_BYTES / max(
             1e-9, self.family.max_bandwidth_gbps

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Union
 
 from ..errors import ConfigurationError, SimulationError
+from ..telemetry import registry as telemetry
 from .engine import Engine
 from .hierarchy import MemoryHierarchy
 
@@ -118,6 +119,24 @@ class Core:
         self.finished = False
         self._inflight: list[float] = []  # completion-time heap
         self._started = False
+        # Null-sink fast path: one None check per issued memory op.
+        tel = telemetry.active()
+        self._tel_mshr = (
+            tel.histogram(
+                "cpu.mshr_occupancy",
+                help="outstanding misses (incl. the new one) at issue",
+            )
+            if tel is not None
+            else None
+        )
+        self._tel_stalls = (
+            tel.counter(
+                "cpu.mshr_stalls",
+                help="issue attempts deferred because every MSHR was busy",
+            )
+            if tel is not None
+            else None
+        )
 
     def start(self) -> None:
         """Schedule the core's first step at the current time."""
@@ -139,6 +158,8 @@ class Core:
         self._retire_completed(now)
         if len(self._inflight) >= self.mshrs:
             # all MSHRs busy: wake when the earliest miss returns
+            if self._tel_stalls is not None:
+                self._tel_stalls.inc()
             self.engine.schedule(self._inflight[0], self._step)
             return
         try:
@@ -163,6 +184,8 @@ class Core:
         )
         completion = now_ns + access.latency_ns
         heapq.heappush(self._inflight, completion)
+        if self._tel_mshr is not None:
+            self._tel_mshr.observe(len(self._inflight))
         if op.is_store:
             self.stats.stores += 1
         else:

@@ -14,6 +14,7 @@ import itertools
 from typing import Callable
 
 from ..errors import SimulationError
+from ..telemetry import registry as telemetry
 
 
 class Engine:
@@ -24,6 +25,16 @@ class Engine:
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        # Telemetry is recorded once per run() call (never per event),
+        # so even an active registry costs nothing on the hot loop.
+        self._tel = telemetry.active()
+        if self._tel is not None:
+            self._tel_events = self._tel.counter(
+                "engine.events", help="discrete events executed"
+            )
+            self._tel_runs = self._tel.counter(
+                "engine.runs", help="run() invocations"
+            )
 
     @property
     def now_ns(self) -> float:
@@ -77,6 +88,9 @@ class Engine:
                     self._now = max(self._now, until_ns)
         finally:
             self._running = False
+        if self._tel is not None:
+            self._tel_events.inc(executed)
+            self._tel_runs.inc()
         return executed
 
     def pending(self) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError, SimulationError
 from ..request import AccessType, MemoryRequest
+from ..telemetry import registry as telemetry
 from .address import AddressMapper
 from .bank import BankState, RankState
 from .stats import ControllerStats, RowBufferOutcome, RowBufferStats
@@ -130,6 +131,33 @@ class DramController:
             for _ in range(channels)
         ]
         self._last_submit_ns = 0.0
+        # Null-sink fast path: one None check per access when disabled.
+        self._tel = telemetry.active()
+        if self._tel is not None:
+            self._tel_rows = {
+                RowBufferOutcome.HIT: self._tel.counter(
+                    "dram.row_hits", help="column accesses that hit an open row"
+                ),
+                RowBufferOutcome.EMPTY: self._tel.counter(
+                    "dram.row_empties", help="accesses to a precharged bank"
+                ),
+                RowBufferOutcome.MISS: self._tel.counter(
+                    "dram.row_misses", help="accesses that closed another row"
+                ),
+            }
+            self._tel_reads = self._tel.counter("dram.reads")
+            self._tel_writes = self._tel.counter("dram.writes")
+            self._tel_write_stalls = self._tel.counter(
+                "dram.write_stalls", help="writes that waited for a buffer slot"
+            )
+            self._tel_write_drains = self._tel.counter(
+                "dram.write_drains", help="write-drain batches issued"
+            )
+            self._tel_refreshes = self._tel.counter("dram.refreshes")
+            self._tel_wq_depth = self._tel.histogram(
+                "dram.write_queue_occupancy",
+                help="posted-write buffer occupancy at write acceptance",
+            )
 
     @property
     def peak_bandwidth_gbps(self) -> float:
@@ -170,6 +198,8 @@ class DramController:
     def _submit_read(self, request: MemoryRequest) -> ServiceResult:
         result = self._schedule_device(request, is_write=False)
         self.stats.reads += 1
+        if self._tel is not None:
+            self._tel_reads.inc()
         return result
 
     def _submit_write(self, request: MemoryRequest) -> ServiceResult:
@@ -192,11 +222,16 @@ class DramController:
         if len(channel.pending_writes) >= self._drain_high:
             self._drain_writes(channel, now)
         occupancy = len(channel.pending_writes) + len(channel.inflight_writes)
+        if self._tel is not None:
+            self._tel_writes.inc()
+            self._tel_wq_depth.observe(occupancy)
         if occupancy > self.write_queue_depth and channel.inflight_writes:
             # full buffer: the requester waits until the oldest drained
             # write completes on the device and frees a slot
             completion = channel.inflight_writes.popleft()
             self.stats.write_stalls += 1
+            if self._tel is not None:
+                self._tel_write_stalls.inc()
         else:
             completion = now + self.WRITE_ACCEPT_NS
         return ServiceResult(
@@ -220,6 +255,8 @@ class DramController:
         count = max(0, len(channel.pending_writes) - self._drain_low)
         if count == 0:
             return
+        if self._tel is not None:
+            self._tel_write_drains.inc()
         # row-grouped drain: order the *whole* pending queue by
         # (rank, bank, row, column) and take the batch from the front,
         # so writes sharing a row issue consecutively and each open-row
@@ -321,6 +358,8 @@ class DramController:
         channel.last_data_end_ns = completion
 
         self.stats.row_buffer.record(outcome)
+        if self._tel is not None:
+            self._tel_rows[outcome].inc()
         return ServiceResult(
             start_ns=earliest, completion_ns=completion, outcome=outcome
         )
@@ -342,6 +381,8 @@ class DramController:
             )
             rank.next_refresh_ns += timing.tREFI
             self.stats.refreshes += 1
+            if self._tel is not None:
+                self._tel_refreshes.inc()
 
     # ------------------------------------------------------------------
     # Introspection for FR-FCFS frontends

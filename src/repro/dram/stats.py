@@ -59,6 +59,18 @@ class RowBufferStats:
             misses=self.misses + other.misses,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready census (telemetry summaries, manifest embedding)."""
+        hit, empty, miss = self.rates()
+        return {
+            "hits": self.hits,
+            "empties": self.empties,
+            "misses": self.misses,
+            "hit_rate": hit,
+            "empty_rate": empty,
+            "miss_rate": miss,
+        }
+
 
 @dataclass
 class ControllerStats:
@@ -73,3 +85,14 @@ class ControllerStats:
     @property
     def accesses(self) -> int:
         return self.reads + self.writes
+
+    def to_dict(self) -> dict:
+        """JSON-ready controller census (telemetry and analysis dumps)."""
+        return {
+            "row_buffer": self.row_buffer.to_dict(),
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "write_stalls": self.write_stalls,
+            "accesses": self.accesses,
+        }

@@ -40,3 +40,7 @@ class TraceError(MessError):
 
 class ProfilingError(MessError):
     """Application profiling received samples it cannot position."""
+
+
+class TelemetryError(MessError):
+    """A telemetry instrument was declared or used inconsistently."""

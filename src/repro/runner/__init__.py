@@ -14,7 +14,7 @@ Three pieces:
 """
 
 from .cache import ResultCache, activate, active_cache, deactivate, default_cache_dir
-from .manifest import ExperimentRecord, RunManifest
+from .manifest import ExperimentRecord, RunManifest, environment_header
 from .pool import RunOutcome, run_many
 
 __all__ = [
@@ -26,5 +26,6 @@ __all__ = [
     "active_cache",
     "deactivate",
     "default_cache_dir",
+    "environment_header",
     "run_many",
 ]

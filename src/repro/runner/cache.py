@@ -168,25 +168,44 @@ class ResultCache:
             if shard.is_dir():
                 yield from sorted(shard.glob("*.json"))
 
-    def info(self) -> dict:
-        """Summary statistics: root, entry count, total bytes."""
+    def info(self, detail: bool = False) -> dict:
+        """Summary statistics: root, entry count, bytes per kind.
+
+        With ``detail``, an ``entry_list`` is included: one
+        ``{key, kind, bytes}`` record per entry, largest first — the
+        machine-readable breakdown behind ``repro cache info --json``.
+        """
         count = 0
         total = 0
         kinds: dict[str, int] = {}
+        kind_bytes: dict[str, int] = {}
+        entry_list: list[dict] = []
         for path in self.entries():
             count += 1
+            size = 0
             try:
-                total += path.stat().st_size
+                size = path.stat().st_size
                 kind = json.loads(path.read_text()).get("kind") or "unknown"
             except (OSError, ValueError, AttributeError):
                 kind = "corrupt"
+            total += size
             kinds[kind] = kinds.get(kind, 0) + 1
-        return {
+            kind_bytes[kind] = kind_bytes.get(kind, 0) + size
+            if detail:
+                entry_list.append(
+                    {"key": path.stem, "kind": kind, "bytes": size}
+                )
+        info = {
             "root": str(self.root),
             "entries": count,
             "bytes": total,
             "kinds": kinds,
+            "kind_bytes": kind_bytes,
         }
+        if detail:
+            entry_list.sort(key=lambda entry: (-entry["bytes"], entry["key"]))
+            info["entry_list"] = entry_list
+        return info
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -11,15 +11,32 @@ states were.
 from __future__ import annotations
 
 import json
+import platform as platform_mod
+import sys
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Mapping
 
 from ..errors import ConfigurationError
 
 #: Manifest schema version, bumped on incompatible layout changes.
+#: Readers tolerate unknown keys, so additive changes (the environment
+#: header, per-experiment telemetry) do not bump it.
 MANIFEST_VERSION = 1
+
+
+def environment_header() -> dict:
+    """Python version and platform string of the running interpreter.
+
+    Recorded in every manifest so two runs can be compared knowing
+    whether they came from the same interpreter and OS build.
+    """
+    version = sys.version_info
+    return {
+        "python_version": f"{version.major}.{version.minor}.{version.micro}",
+        "platform": platform_mod.platform(),
+    }
 
 
 @dataclass
@@ -36,14 +53,21 @@ class ExperimentRecord:
     scale: float = 1.0
     options: dict = field(default_factory=dict)
     error: str | None = None
+    #: Per-experiment telemetry summary (counter totals, span durations)
+    #: from :meth:`repro.telemetry.TelemetryRegistry.summary`; None when
+    #: the run did not collect telemetry.
+    telemetry: dict | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExperimentRecord":
+        # Unknown keys are dropped, not fatal: manifests written by a
+        # newer package version must stay readable by this one.
+        known = {f.name for f in fields(cls)}
         try:
-            return cls(**dict(payload))
+            return cls(**{k: v for k, v in dict(payload).items() if k in known})
         except TypeError as exc:
             raise ConfigurationError(
                 f"malformed experiment record: {exc}"
@@ -58,6 +82,10 @@ class RunManifest:
     scale: float = 1.0
     cache_dir: str | None = None
     package_version: str = ""
+    python_version: str = field(
+        default_factory=lambda: environment_header()["python_version"]
+    )
+    platform: str = field(default_factory=lambda: environment_header()["platform"])
     started_at: float = field(default_factory=time.time)
     wall_time_s: float = 0.0
     records: list[ExperimentRecord] = field(default_factory=list)
@@ -104,6 +132,8 @@ class RunManifest:
             "scale": self.scale,
             "cache_dir": self.cache_dir,
             "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
             "started_at": self.started_at,
             "wall_time_s": self.wall_time_s,
             "experiments": [record.to_dict() for record in self.records],
@@ -112,11 +142,16 @@ class RunManifest:
     @classmethod
     def from_dict(cls, payload: Mapping) -> "RunManifest":
         try:
+            # .get everywhere: unknown top-level keys are ignored and
+            # missing ones default, so manifests survive version skew
+            # in both directions.
             manifest = cls(
                 jobs=payload.get("jobs", 1),
                 scale=payload.get("scale", 1.0),
                 cache_dir=payload.get("cache_dir"),
                 package_version=payload.get("package_version", ""),
+                python_version=payload.get("python_version", ""),
+                platform=payload.get("platform", ""),
                 started_at=payload.get("started_at", 0.0),
                 wall_time_s=payload.get("wall_time_s", 0.0),
                 records=[

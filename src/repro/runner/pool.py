@@ -25,6 +25,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..errors import ConfigurationError, MessError
+from ..telemetry import registry as telemetry_mod
+from ..telemetry.registry import TelemetryRegistry
 from . import cache as cache_mod
 from .cache import ResultCache
 from .manifest import ExperimentRecord, RunManifest
@@ -47,6 +49,9 @@ class RunOutcome:
 
     results: "dict[str, ExperimentResult]" = field(default_factory=dict)
     manifest: RunManifest = field(default_factory=RunManifest)
+    #: Merged telemetry from every experiment (spans, counters, per-window
+    #: samples); ``None`` unless ``run_many(collect_telemetry=True)``.
+    telemetry: TelemetryRegistry | None = None
 
 
 def _ensure_cache(cache_dir: str | None, use_cache: bool) -> ResultCache | None:
@@ -71,6 +76,7 @@ def _execute_one(
     options: dict,
     cache_dir: str | None,
     use_cache: bool,
+    collect_telemetry: bool = False,
 ) -> dict:
     """Run one experiment (in a worker or inline) and report telemetry.
 
@@ -78,44 +84,72 @@ def _execute_one(
     experiment result is memoized in the content-addressed cache; on a
     miss the run still benefits from the harness-level characterization
     cache underneath.
+
+    With ``collect_telemetry``, a fresh registry is activated around the
+    experiment so simulators/controllers built inside it bind their
+    instruments to it; the registry travels back to the parent as JSON
+    (``telemetry_data``) plus a compact summary for the manifest.
     """
     from ..experiments.base import ExperimentResult
     from ..experiments.registry import run_experiment
 
-    cache = _ensure_cache(cache_dir, use_cache)
-    hits_before = cache.hits if cache else 0
-    misses_before = cache.misses if cache else 0
-    start = time.perf_counter()
+    registry = None
+    previous = telemetry_mod.active()
+    if collect_telemetry:
+        registry = telemetry_mod.activate(TelemetryRegistry())
+    try:
+        cache = _ensure_cache(cache_dir, use_cache)
+        hits_before = cache.hits if cache else 0
+        misses_before = cache.misses if cache else 0
+        start = time.perf_counter()
 
-    key = None
-    payload = None
-    if cache is not None:
-        key = cache.key_for(
-            "result",
-            {"experiment_id": experiment_id, "scale": scale, "options": options},
-        )
-        payload = cache.get(key)
-        if payload is not None:
-            try:
-                ExperimentResult.from_dict(payload)
-            except MessError:
-                cache.discard(key)
-                payload = None
-    if payload is None:
-        result = run_experiment(experiment_id, scale=scale, **options)
-        # one JSON round-trip so cached and fresh results carry
-        # identically-typed rows (e.g. tuples become lists either way)
-        payload = json.loads(json.dumps(result.to_dict()))
-        if cache is not None and key is not None:
-            cache.put(key, payload, kind="result")
+        key = None
+        payload = None
+        if cache is not None:
+            key = cache.key_for(
+                "result",
+                {"experiment_id": experiment_id, "scale": scale, "options": options},
+            )
+            payload = cache.get(key)
+            if payload is not None:
+                try:
+                    ExperimentResult.from_dict(payload)
+                except MessError:
+                    cache.discard(key)
+                    payload = None
+        if payload is None:
+            if registry is not None:
+                with registry.span(
+                    "runner.experiment", category="runner", id=experiment_id
+                ):
+                    result = run_experiment(experiment_id, scale=scale, **options)
+            else:
+                result = run_experiment(experiment_id, scale=scale, **options)
+            # one JSON round-trip so cached and fresh results carry
+            # identically-typed rows (e.g. tuples become lists either way)
+            payload = json.loads(json.dumps(result.to_dict()))
+            if cache is not None and key is not None:
+                cache.put(key, payload, kind="result")
+        elif registry is not None:
+            registry.event(
+                "runner.result_cache_hit", category="runner", id=experiment_id
+            )
 
-    return {
-        "experiment_id": experiment_id,
-        "payload": payload,
-        "duration_s": time.perf_counter() - start,
-        "cache_hits": (cache.hits - hits_before) if cache else 0,
-        "cache_misses": (cache.misses - misses_before) if cache else 0,
-    }
+        return {
+            "experiment_id": experiment_id,
+            "payload": payload,
+            "duration_s": time.perf_counter() - start,
+            "cache_hits": (cache.hits - hits_before) if cache else 0,
+            "cache_misses": (cache.misses - misses_before) if cache else 0,
+            "telemetry_summary": registry.summary() if registry else None,
+            "telemetry_data": registry.to_dict() if registry else None,
+        }
+    finally:
+        if collect_telemetry:
+            if previous is not None:
+                telemetry_mod.activate(previous)
+            else:
+                telemetry_mod.deactivate()
 
 
 def _record_from(
@@ -134,6 +168,7 @@ def _record_from(
         result_digest=result.digest(),
         scale=scale,
         options=dict(options),
+        telemetry=raw.get("telemetry_summary"),
     )
     return record, result
 
@@ -163,6 +198,7 @@ def run_many(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     progress: ProgressCallback | None = None,
+    collect_telemetry: bool = False,
 ) -> RunOutcome:
     """Run many experiments, optionally in parallel, with caching.
 
@@ -183,6 +219,12 @@ def run_many(
     progress:
         Callback receiving each :class:`ExperimentRecord` as it
         completes (completion order, not submission order).
+    collect_telemetry:
+        Collect per-experiment telemetry (spans, counters, control-loop
+        samples). Each record carries a summary into the manifest and
+        the merged registry lands on ``outcome.telemetry``, ready for
+        the Chrome-trace / Prometheus exporters. Off by default: the
+        instrumented hot paths then stay on their null-sink fast path.
 
     A failing experiment is recorded with ``status="error"`` and does
     not abort the remaining ones; inspect ``outcome.manifest.ok``.
@@ -218,6 +260,8 @@ def run_many(
         package_version=cache_mod._package_version(),
     )
     outcome = RunOutcome(manifest=manifest)
+    if collect_telemetry:
+        outcome.telemetry = TelemetryRegistry()
     records: dict[str, ExperimentRecord] = {}
     start = time.perf_counter()
 
@@ -226,14 +270,26 @@ def run_many(
         if progress is not None:
             progress(record)
 
+    def absorb(raw: dict) -> None:
+        """Merge one experiment's telemetry into the run-wide registry."""
+        data = raw.get("telemetry_data")
+        if outcome.telemetry is not None and data is not None:
+            outcome.telemetry.merge_dict(data)
+
     if jobs == 1 or len(ids) == 1:
         for experiment_id in ids:
             opts = per_experiment.get(experiment_id, {})
             step_start = time.perf_counter()
             try:
                 raw = _execute_one(
-                    experiment_id, scale, opts, cache_dir_str, use_cache
+                    experiment_id,
+                    scale,
+                    opts,
+                    cache_dir_str,
+                    use_cache,
+                    collect_telemetry,
                 )
+                absorb(raw)
                 record, result = _record_from(raw, scale, opts)
                 outcome.results[experiment_id] = result
             except MessError as exc:
@@ -252,6 +308,7 @@ def run_many(
                     per_experiment.get(experiment_id, {}),
                     cache_dir_str,
                     use_cache,
+                    collect_telemetry,
                 ): experiment_id
                 for experiment_id in ids
             }
@@ -260,6 +317,7 @@ def run_many(
                 opts = per_experiment.get(experiment_id, {})
                 try:
                     raw = future.result()
+                    absorb(raw)
                     record, result = _record_from(raw, scale, opts)
                     outcome.results[experiment_id] = result
                 except Exception as exc:  # worker died or experiment failed

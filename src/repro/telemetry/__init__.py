@@ -1,0 +1,83 @@
+"""Observability for the Mess reproduction: counters, spans, traces.
+
+The Mess simulator's defining behaviour is internal dynamics — a
+controller repositioning the application on the bandwidth-latency curves
+every window — and this subsystem makes those dynamics observable
+without ad-hoc prints:
+
+- :class:`TelemetryRegistry` — process-local, typed instruments
+  (:class:`Counter`, :class:`Gauge`, :class:`Histogram`), wall-clock
+  spans/events and simulation-time samples;
+- :func:`activate` / :func:`deactivate` / :func:`active` — the
+  process-global switch. Nothing is active by default: instrumented
+  constructors read :func:`active` once and hot paths pay a single
+  ``is not None`` check when telemetry is off (the null-sink fast path);
+- exporters — :func:`write_jsonl` (archival log),
+  :func:`write_chrome_trace` (``chrome://tracing`` / Perfetto timeline),
+  :func:`write_prometheus` (scrape-style snapshot);
+- :func:`summarize_file` — offline rollup of either export, used by
+  ``python -m repro telemetry summarize``.
+
+Typical use::
+
+    from repro import telemetry
+
+    registry = telemetry.activate()
+    ...  # build + run simulators, benchmarks, experiments
+    telemetry.write_chrome_trace(registry, "trace.json")
+    telemetry.write_prometheus(registry, "metrics.prom")
+    telemetry.deactivate()
+"""
+
+from .exporters import (
+    chrome_trace,
+    jsonl_lines,
+    metric_name,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .instruments import (
+    DEFAULT_BUCKETS,
+    LATENCY_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from .registry import (
+    EventRecord,
+    SampleRecord,
+    SpanRecord,
+    TelemetryRegistry,
+    activate,
+    active,
+    deactivate,
+    enabled,
+)
+from .summary import format_summary, summarize_file
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LATENCY_NS_BUCKETS",
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "SampleRecord",
+    "SpanRecord",
+    "TelemetryRegistry",
+    "activate",
+    "active",
+    "chrome_trace",
+    "deactivate",
+    "enabled",
+    "format_summary",
+    "jsonl_lines",
+    "metric_name",
+    "prometheus_text",
+    "summarize_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,184 @@
+"""Offline summarization of exported telemetry files.
+
+``python -m repro telemetry summarize PATH`` accepts either exporter
+output — a Chrome trace-event JSON document or a JSONL event log — and
+reduces it to the same compact shape
+(:func:`repro.telemetry.registry.TelemetryRegistry.summary` uses for the
+run manifest): span duration rollups, counter totals, sample series
+ranges. Useful for eyeballing a trace without loading Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TelemetryError
+
+
+def _rollup_span(spans: dict[str, dict], name: str, dur_us: float) -> None:
+    entry = spans.setdefault(
+        name, {"count": 0, "total_us": 0.0, "max_us": 0.0}
+    )
+    entry["count"] += 1
+    entry["total_us"] += dur_us
+    entry["max_us"] = max(entry["max_us"], dur_us)
+
+
+def _rollup_series(
+    series: dict[str, dict], name: str, ts_us: float, values: dict
+) -> None:
+    entry = series.setdefault(
+        series_key(name), {"samples": 0, "first_ts_us": ts_us, "last_ts_us": ts_us}
+    )
+    entry["samples"] += 1
+    entry["first_ts_us"] = min(entry["first_ts_us"], ts_us)
+    entry["last_ts_us"] = max(entry["last_ts_us"], ts_us)
+    for key, value in values.items():
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            continue
+        stats = entry.setdefault("values", {}).setdefault(
+            key, {"min": number, "max": number, "last": number}
+        )
+        stats["min"] = min(stats["min"], number)
+        stats["max"] = max(stats["max"], number)
+        stats["last"] = number
+
+
+def series_key(name: str) -> str:
+    return str(name)
+
+
+def _summarize_chrome(document: dict) -> dict:
+    spans: dict[str, dict] = {}
+    series: dict[str, dict] = {}
+    events = 0
+    for entry in document.get("traceEvents", []):
+        phase = entry.get("ph")
+        if phase == "X":
+            _rollup_span(spans, str(entry.get("name")), float(entry.get("dur", 0.0)))
+        elif phase == "i":
+            events += 1
+        elif phase == "C":
+            _rollup_series(
+                series,
+                str(entry.get("name")),
+                float(entry.get("ts", 0.0)),
+                entry.get("args", {}) or {},
+            )
+    return {
+        "format": "chrome-trace",
+        "spans": spans,
+        "series": series,
+        "events": events,
+        "counters": {},
+        "histograms": {},
+    }
+
+
+def _summarize_jsonl(lines: list[str]) -> dict:
+    spans: dict[str, dict] = {}
+    series: dict[str, dict] = {}
+    counters: dict[str, int] = {}
+    histograms: dict[str, dict] = {}
+    events = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as exc:
+            raise TelemetryError(f"line {number} is not JSON: {exc}") from exc
+        record_type = entry.get("type")
+        if record_type == "span":
+            _rollup_span(spans, str(entry.get("name")), float(entry.get("dur_us", 0.0)))
+        elif record_type == "event":
+            events += 1
+        elif record_type == "sample":
+            _rollup_series(
+                series,
+                str(entry.get("series")),
+                float(entry.get("ts_us", 0.0)),
+                entry.get("values", {}) or {},
+            )
+        elif record_type == "instrument":
+            kind = entry.get("kind")
+            name = str(entry.get("name"))
+            if kind == "counter":
+                counters[name] = int(entry.get("value", 0))
+            elif kind == "histogram":
+                count = int(entry.get("count", 0))
+                total = float(entry.get("total", 0.0))
+                histograms[name] = {
+                    "count": count,
+                    "total": total,
+                    "mean": total / count if count else 0.0,
+                }
+    return {
+        "format": "jsonl",
+        "spans": spans,
+        "series": series,
+        "events": events,
+        "counters": counters,
+        "histograms": histograms,
+    }
+
+
+def summarize_file(path: str | Path) -> dict:
+    """Summarize one exported telemetry file (Chrome trace or JSONL)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read telemetry file {path}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        raise TelemetryError(f"telemetry file {path} is empty")
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(text)
+        except ValueError:
+            document = None
+        if isinstance(document, dict) and "traceEvents" in document:
+            return _summarize_chrome(document)
+    return _summarize_jsonl(text.splitlines())
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize_file` output."""
+    lines = [f"format: {summary['format']}"]
+    if summary["spans"]:
+        lines.append("spans:")
+        for name, entry in sorted(summary["spans"].items()):
+            lines.append(
+                f"  {name}: n={entry['count']} "
+                f"total={entry['total_us'] / 1e3:.2f}ms "
+                f"max={entry['max_us'] / 1e3:.2f}ms"
+            )
+    if summary["counters"]:
+        lines.append("counters:")
+        for name, value in sorted(summary["counters"].items()):
+            lines.append(f"  {name}: {value}")
+    if summary["histograms"]:
+        lines.append("histograms:")
+        for name, entry in sorted(summary["histograms"].items()):
+            lines.append(
+                f"  {name}: n={entry['count']} mean={entry['mean']:.2f}"
+            )
+    if summary["series"]:
+        lines.append("series:")
+        for name, entry in sorted(summary["series"].items()):
+            span_us = entry["last_ts_us"] - entry["first_ts_us"]
+            lines.append(
+                f"  {name}: samples={entry['samples']} over {span_us:.0f}us sim time"
+            )
+            for key, stats in sorted(entry.get("values", {}).items()):
+                lines.append(
+                    f"    {key}: min={stats['min']:.3f} max={stats['max']:.3f} "
+                    f"last={stats['last']:.3f}"
+                )
+    lines.append(f"events: {summary['events']}")
+    return "\n".join(lines)

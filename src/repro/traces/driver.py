@@ -24,6 +24,7 @@ from ..dram.stats import RowBufferOutcome
 from ..errors import TraceError
 from ..memmodels.base import AccessType, MemoryModel
 from ..request import MemoryRequest
+from ..telemetry import registry as telemetry
 from .format import TraceRecord
 
 
@@ -138,6 +139,15 @@ def replay_trace_frfcfs(
     last_completion = 0.0
     source = iter(enumerate(records))
     exhausted = False
+    tel = telemetry.active()
+    reorders = (
+        tel.counter(
+            "trace.frfcfs_reorders",
+            help="requests served ahead of an older pending request",
+        )
+        if tel is not None
+        else None
+    )
 
     while pending or not exhausted:
         # refill the window at the current time
@@ -161,6 +171,8 @@ def replay_trace_frfcfs(
                 break
         if choice is None:
             choice = 0
+        elif choice > 0 and reorders is not None:
+            reorders.inc()
         index, record = pending.pop(choice)
         request = MemoryRequest(
             address=record.address,

@@ -19,7 +19,7 @@ bandwidth area of the host platform (Figure 15).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..cpu.core import Delay, MemOp, Operation

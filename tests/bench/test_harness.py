@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import MessBenchmark, MessBenchmarkConfig
-from repro.cpu.system import SystemConfig
 from repro.errors import BenchmarkError
 from repro.memmodels.fixed import FixedLatencyModel
 from repro.memmodels.cycle_accurate import CycleAccurateModel

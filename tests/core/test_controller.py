@@ -75,3 +75,94 @@ class TestIntegral:
         # after reset, behaves like a fresh proportional+first-step update
         fresh = PIController(convergence_factor=0.5, integral_gain=0.5)
         assert controller.update(0.0, 40.0) == fresh.update(0.0, 40.0)
+
+
+class TestAntiWindup:
+    def test_clamp_engages_and_pins_the_accumulator(self):
+        controller = PIController(
+            convergence_factor=0.1, integral_gain=0.0, integral_limit=25.0
+        )
+        assert not controller.integral_saturated
+        controller.update(0.0, 10.0)
+        assert controller.integral == pytest.approx(10.0)
+        assert not controller.integral_saturated
+        # persistent error walks the accumulator into the clamp
+        for _ in range(10):
+            controller.update(0.0, 10.0)
+        assert controller.integral == pytest.approx(25.0)
+        assert controller.integral_saturated
+        # further same-sign error cannot push past the limit
+        controller.update(0.0, 1000.0)
+        assert controller.integral == pytest.approx(25.0)
+
+    def test_clamp_is_symmetric(self):
+        controller = PIController(integral_limit=5.0)
+        for _ in range(10):
+            controller.update(10.0, 0.0)
+        assert controller.integral == pytest.approx(-5.0)
+        assert controller.integral_saturated
+
+    def test_saturated_integral_recovers_after_error_flips(self):
+        controller = PIController(
+            convergence_factor=0.5, integral_gain=0.01, integral_limit=15.0
+        )
+        for _ in range(10):
+            controller.update(0.0, 10.0)
+        assert controller.integral_saturated
+        # opposite-sign error drains the accumulator immediately — the
+        # whole point of anti-windup
+        controller.update(10.0, 0.0)
+        assert not controller.integral_saturated
+        assert controller.integral == pytest.approx(5.0)
+
+
+class TestOneStepConvergence:
+    def test_unit_factor_converges_in_exactly_one_window(self):
+        controller = PIController(convergence_factor=1.0)
+        estimate = controller.update(12.5, 87.5)
+        assert estimate == pytest.approx(87.5)
+        # subsequent windows are already at the setpoint: zero error
+        estimate = controller.update(estimate, 87.5)
+        assert estimate == pytest.approx(87.5)
+        assert controller.last_error == pytest.approx(0.0)
+
+    def test_unit_factor_tracks_a_step_change_in_one_window(self):
+        controller = PIController(convergence_factor=1.0)
+        estimate = controller.update(0.0, 40.0)
+        estimate = controller.update(estimate, 90.0)
+        assert estimate == pytest.approx(90.0)
+
+
+class TestPaperEquivalence:
+    def test_disabled_integral_matches_paper_rule_over_a_trajectory(self):
+        controller = PIController(convergence_factor=0.35, integral_gain=0.0)
+        observations = [100.0, 80.0, 120.0, 120.0, 60.0, 95.0, 95.0]
+        estimate = 10.0
+        expected = 10.0
+        for observed in observations:
+            estimate = controller.update(estimate, observed)
+            # messBW_{i+1} = messBW_i + convFactor * (cpuBW_i - messBW_i)
+            expected = expected + 0.35 * (observed - expected)
+            assert estimate == pytest.approx(expected)
+
+    def test_disabled_integral_ignores_accumulated_error(self):
+        # the accumulator still fills, but with zero gain it must never
+        # leak into the estimate
+        controller = PIController(convergence_factor=0.5, integral_gain=0.0)
+        for _ in range(50):
+            controller.update(0.0, 100.0)
+        assert controller.integral != 0.0
+        assert controller.update(100.0, 100.0) == pytest.approx(100.0)
+
+
+class TestIntrospection:
+    def test_updates_and_last_error_track_the_loop(self):
+        controller = PIController(convergence_factor=0.5)
+        assert controller.updates == 0
+        controller.update(10.0, 30.0)
+        controller.update(20.0, 15.0)
+        assert controller.updates == 2
+        assert controller.last_error == pytest.approx(-5.0)
+        controller.reset()
+        assert controller.updates == 0
+        assert controller.last_error == 0.0

@@ -1,0 +1,105 @@
+"""Runner + telemetry integration: collection, manifests, version skew."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runner import RunManifest, environment_header, run_many
+from repro.runner.manifest import ExperimentRecord
+from repro.telemetry import TelemetryRegistry
+from repro.telemetry import registry as telemetry_mod
+
+FAST_IDS = ["fig2", "fig17"]
+
+
+class TestCollection:
+    def test_disabled_by_default(self):
+        outcome = run_many(["fig17"], use_cache=False)
+        assert outcome.telemetry is None
+        assert all(r.telemetry is None for r in outcome.manifest.records)
+
+    def test_collects_merged_registry_serial(self):
+        # optane drives the Mess simulator, so simulator counters and
+        # per-window samples must surface in the merged registry
+        outcome = run_many(
+            ["optane", "fig17"], jobs=1, use_cache=False, collect_telemetry=True
+        )
+        assert isinstance(outcome.telemetry, TelemetryRegistry)
+        span_names = {span.name for span in outcome.telemetry.spans}
+        assert "runner.experiment" in span_names
+        counters = outcome.telemetry.summary()["counters"]
+        assert counters.get("sim.requests", 0) > 0
+        assert counters.get("sim.windows", 0) > 0
+        assert any(
+            sample.series == "sim.window" for sample in outcome.telemetry.samples
+        )
+
+    def test_collects_across_worker_processes(self):
+        outcome = run_many(
+            FAST_IDS, jobs=2, use_cache=False, collect_telemetry=True
+        )
+        experiment_spans = [
+            span
+            for span in outcome.telemetry.spans
+            if span.name == "runner.experiment"
+        ]
+        assert {span.attrs.get("id") for span in experiment_spans} == set(
+            FAST_IDS
+        )
+
+    def test_per_experiment_summary_in_records(self):
+        outcome = run_many(
+            ["fig2"], use_cache=False, collect_telemetry=True
+        )
+        record = outcome.manifest.records[0]
+        assert record.telemetry is not None
+        assert record.telemetry["spans"]["runner.experiment"]["count"] == 1
+        assert json.dumps(record.telemetry)  # JSON-serializable
+
+    def test_collection_leaves_global_registry_alone(self):
+        assert telemetry_mod.active() is None
+        run_many(["fig17"], use_cache=False, collect_telemetry=True)
+        assert telemetry_mod.active() is None
+
+
+class TestManifestRoundTrip:
+    def test_telemetry_summary_survives_write_read(self, tmp_path):
+        outcome = run_many(
+            ["fig17"], use_cache=False, collect_telemetry=True
+        )
+        path = tmp_path / "manifest.json"
+        outcome.manifest.write(path)
+        loaded = RunManifest.read(path)
+        original = outcome.manifest.records[0].telemetry
+        restored = loaded.records[0].telemetry
+        assert restored == original
+        assert restored["counters"] == original["counters"]
+        assert loaded.to_dict() == outcome.manifest.to_dict()
+
+    def test_environment_header_recorded(self, tmp_path):
+        outcome = run_many(["fig17"], use_cache=False)
+        path = tmp_path / "manifest.json"
+        outcome.manifest.write(path)
+        payload = json.loads(path.read_text())
+        expected = environment_header()
+        assert payload["python_version"] == expected["python_version"]
+        assert payload["platform"] == expected["platform"]
+        assert payload["package_version"]
+
+    def test_reader_tolerates_unknown_keys(self, tmp_path):
+        outcome = run_many(["fig17"], use_cache=False)
+        payload = outcome.manifest.to_dict()
+        payload["from_the_future"] = {"shiny": True}
+        payload["experiments"][0]["novel_field"] = 42
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(payload))
+        loaded = RunManifest.read(path)
+        assert loaded.records[0].experiment_id == "fig17"
+        assert loaded.records[0].status == "ok"
+
+    def test_record_from_dict_drops_unknown_keys(self):
+        record = ExperimentRecord.from_dict(
+            {"experiment_id": "x", "status": "ok", "mystery": 1}
+        )
+        assert record.experiment_id == "x"
+        assert not hasattr(record, "mystery")

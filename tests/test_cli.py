@@ -109,6 +109,81 @@ class TestRun:
         assert "cache_hits=1" in capsys.readouterr().out
 
 
+class TestRunTelemetry:
+    def test_trace_and_metrics_flags(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        manifest = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "optane",
+                    "--no-cache",
+                    "--trace",
+                    str(trace),
+                    "--metrics",
+                    str(metrics),
+                    "--manifest",
+                    str(manifest),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "metrics written to" in out
+        document = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+        assert "repro_sim_requests_total" in metrics.read_text()
+        payload = json.loads(manifest.read_text())
+        assert payload["experiments"][0]["telemetry"]["counters"][
+            "sim.requests"
+        ] > 0
+
+    def test_no_flags_no_telemetry(self, capsys, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert (
+            main(["run", "fig17", "--no-cache", "--manifest", str(manifest)])
+            == 0
+        )
+        payload = json.loads(manifest.read_text())
+        assert payload["experiments"][0]["telemetry"] is None
+
+
+class TestTelemetryCommand:
+    def _export(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(["run", "optane", "--no-cache", "--trace", str(trace)]) == 0
+        )
+        return trace
+
+    def test_summarize_human(self, capsys, tmp_path):
+        trace = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "format: chrome-trace" in out
+        assert "runner.experiment" in out
+
+    def test_summarize_json(self, capsys, tmp_path):
+        trace = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "chrome-trace"
+        assert "runner.experiment" in payload["spans"]
+
+    def test_missing_file_is_an_error(self, capsys, tmp_path):
+        assert main(["telemetry", "summarize", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_action_required(self):
+        with pytest.raises(SystemExit):
+            main(["telemetry"])
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
@@ -121,6 +196,32 @@ class TestCacheCommand:
         assert "removed 1" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
         assert "entries:    0" in capsys.readouterr().out
+
+    def test_info_json(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig17", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--json", "--cache-dir", cache_dir]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["kinds"] == {"result": 1}
+        assert payload["kind_bytes"]["result"] > 0
+        (entry,) = payload["entry_list"]
+        assert entry["kind"] == "result"
+        assert entry["bytes"] > 0
+        assert entry["key"]
+
+    def test_json_rejected_for_clear(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "cache",
+                    "clear",
+                    "--json",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
 
     def test_requires_action(self):
         with pytest.raises(SystemExit):

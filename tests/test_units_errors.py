@@ -77,4 +77,4 @@ class TestPublicApi:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"

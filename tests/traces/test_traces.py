@@ -124,11 +124,11 @@ class TestReplay:
         fcfs_model = CycleAccurateModel(
             DDR4_2666, channels=2, interleave_bytes=64
         )
-        fcfs = replay_trace(fcfs_model, records)
+        replay_trace(fcfs_model, records)
         frfcfs_controller = DramController(
             DDR4_2666, channels=2, interleave_bytes=64
         )
-        frfcfs = replay_trace_frfcfs(frfcfs_controller, records, window=16)
+        replay_trace_frfcfs(frfcfs_controller, records, window=16)
         fcfs_hits = fcfs_model.row_buffer_stats().rates()[0]
         frfcfs_hits = frfcfs_controller.row_buffer_stats().rates()[0]
         assert frfcfs_hits > fcfs_hits
