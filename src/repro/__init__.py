@@ -42,6 +42,8 @@ Quickstart::
     sim = MessMemorySimulator(family)   # simulate with the curves
 """
 
+from __future__ import annotations
+
 from .bench import MessBenchmark, MessBenchmarkConfig, characterize_model
 from .core import (
     BandwidthLatencyCurve,

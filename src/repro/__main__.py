@@ -1,5 +1,7 @@
 """``python -m repro`` dispatches to the CLI."""
 
+from __future__ import annotations
+
 from .cli import main
 
 raise SystemExit(main())

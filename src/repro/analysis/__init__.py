@@ -1,5 +1,7 @@
 """Analysis helpers: curve comparison, accuracy campaigns, row buffers."""
 
+from __future__ import annotations
+
 from .compare import FamilyComparison, compare_families
 from .error import AccuracyReport, WorkloadError, run_accuracy_campaign
 from .rowbuffer import RowBufferCensus, census_from_controller, census_sweep

@@ -1,5 +1,7 @@
 """The Mess benchmark: latency probe, traffic generator, harnesses."""
 
+from __future__ import annotations
+
 from .harness import MessBenchmark, MessBenchmarkConfig, PointResult
 from .model_probe import ProbeConfig, ProbePoint, characterize_model, probe_point
 from .pointer_chase import pointer_chase_ops

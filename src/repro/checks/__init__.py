@@ -1,0 +1,74 @@
+"""Project-specific static analysis: lint rules + data-artifact validators.
+
+Two halves:
+
+- an AST rule engine (:mod:`.engine`) with one module per rule family —
+  RPR001 unit safety (:mod:`.rules_units`), RPR002 determinism
+  (:mod:`.rules_determinism`), RPR003 telemetry hot path
+  (:mod:`.rules_hotpath`), RPR004 registry hygiene
+  (:mod:`.rules_registry`), RPR005 float equality
+  (:mod:`.rules_floats`);
+- declarative invariant validators for data artifacts
+  (:mod:`.invariants`): platform specs (RPR101), curve families
+  (RPR102) and run manifests (RPR103).
+
+Entry points: :func:`run_checks` (what ``repro check`` calls),
+:func:`check_source` (for fixture tests), and the per-artifact
+validators. Importing this package imports every rule module so the
+registry is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .engine import (
+    Finding,
+    Rule,
+    RULE_CLASSES,
+    available_rules,
+    check_paths,
+    check_source,
+    register_rule,
+)
+
+# Importing the rule modules populates RULE_CLASSES as a side effect —
+# same pattern as the experiment registry.
+from . import rules_determinism  # noqa: F401
+from . import rules_floats  # noqa: F401
+from . import rules_hotpath  # noqa: F401
+from . import rules_registry  # noqa: F401
+from . import rules_units  # noqa: F401
+from .invariants import (
+    check_curve_family,
+    check_manifest,
+    check_manifest_file,
+    check_platform_spec,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULE_CLASSES",
+    "available_rules",
+    "check_curve_family",
+    "check_manifest",
+    "check_manifest_file",
+    "check_paths",
+    "check_platform_spec",
+    "check_source",
+    "register_rule",
+    "run_checks",
+]
+
+
+def run_checks(
+    paths: Sequence[str],
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the static-analysis pass over files and directories.
+
+    Thin alias of :func:`check_paths` under the name the CLI and docs
+    use; ``rules=None`` means every registered rule.
+    """
+    return check_paths(paths, rules=rules)

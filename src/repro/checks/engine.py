@@ -1,0 +1,318 @@
+"""AST rule engine for the project-specific static-analysis pass.
+
+Generic linters cannot see the invariants this reproduction depends on:
+unit discipline funneled through :mod:`repro.units`, determinism of the
+simulation core (the content-addressed result cache is only sound if the
+same inputs produce the same tables), the telemetry hot-path binding
+discipline, and the experiment-registry contract. Each of those is a
+:class:`Rule` here; the engine parses files once and runs every selected
+rule over the tree.
+
+A rule is an :class:`ast.NodeVisitor` subclass with a ``rule_id``
+(``RPR001`` ...), a one-line ``title`` and a ``hint`` users see next to
+each finding. Rules are registered with :func:`register_rule` and
+instantiated fresh per :func:`check_paths` run, so rules may keep
+cross-file state (the registry rule tracks duplicate experiment ids) and
+report it from :meth:`Rule.finish`.
+
+Suppression: a line ending in ``# repro: ignore`` silences every rule on
+that line; ``# repro: ignore[RPR001,RPR005]`` silences only the listed
+rules. Suppressions are deliberate, grep-able escape hatches — prefer
+fixing the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import CheckError
+
+#: Directories whose contents feed the content-addressed cache and must
+#: therefore stay deterministic (RPR002's scope).
+DETERMINISTIC_PACKAGES = frozenset({"core", "dram", "cpu", "memmodels"})
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """``file:line:col: RPRnnn message (hint)`` for terminal output."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+class FileContext:
+    """One parsed source file plus what rules need to scope themselves."""
+
+    def __init__(
+        self, path: Path, source: str, display_path: str | None = None
+    ) -> None:
+        self.path = path
+        self.display_path = display_path or str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.display_path)
+        #: Lowercased path components, used by rules to decide scope
+        #: (``core``/``dram``/... for determinism, ``experiments`` for
+        #: registry hygiene, ``telemetry`` for hot-path exemption).
+        self.parts = frozenset(part.lower() for part in path.parts)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether a ``# repro: ignore`` comment covers this finding."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True
+        return rule_id in {item.strip() for item in listed.split(",")}
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id``, ``title`` and ``hint``, override
+    ``visit_*`` methods and call :meth:`report` for each violation.
+    Per-file state must be reset in :meth:`setup`; cross-file findings
+    go in :meth:`finish`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    hint: str = ""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.ctx: FileContext | None = None
+
+    # -- hooks ---------------------------------------------------------
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule should run on ``ctx`` at all."""
+        return True
+
+    def setup(self, ctx: FileContext) -> None:
+        """Reset per-file state before visiting a new tree."""
+
+    def finish(self) -> list[Finding]:
+        """Findings that need the whole run (cross-file state)."""
+        return []
+
+    # -- driver --------------------------------------------------------
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        self.ctx = ctx
+        self.findings = []
+        self.setup(ctx)
+        self.visit(ctx.tree)
+        found, self.findings = self.findings, []
+        return found
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        *,
+        hint: str | None = None,
+        ctx: FileContext | None = None,
+    ) -> None:
+        ctx = ctx or self.ctx
+        assert ctx is not None
+        line = getattr(node, "lineno", 1)
+        if ctx.suppressed(line, self.rule_id):
+            return
+        self.findings.append(
+            Finding(
+                path=ctx.display_path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=self.rule_id,
+                message=message,
+                hint=self.hint if hint is None else hint,
+            )
+        )
+
+
+#: rule id -> rule class, populated by :func:`register_rule`.
+RULE_CLASSES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the engine's registry."""
+    if not cls.rule_id:
+        raise CheckError(f"rule class {cls.__name__} has no rule_id")
+    if cls.rule_id in RULE_CLASSES:
+        raise CheckError(f"duplicate rule id {cls.rule_id}")
+    RULE_CLASSES[cls.rule_id] = cls
+    return cls
+
+
+def available_rules() -> list[tuple[str, str]]:
+    """``(rule_id, title)`` pairs for every registered rule, sorted."""
+    return [
+        (rule_id, RULE_CLASSES[rule_id].title) for rule_id in sorted(RULE_CLASSES)
+    ]
+
+
+def _select_rules(rules: Sequence[str] | None) -> list[Rule]:
+    if rules is None:
+        selected = sorted(RULE_CLASSES)
+    else:
+        selected = list(rules)
+        unknown = sorted(set(selected) - set(RULE_CLASSES))
+        if unknown:
+            raise CheckError(
+                f"unknown rule(s) {unknown}; available: {sorted(RULE_CLASSES)}"
+            )
+    return [RULE_CLASSES[rule_id]() for rule_id in selected]
+
+
+def _collect_files(paths: Iterable[str | Path]) -> tuple[list[Path], list[Path]]:
+    """Split the given paths into Python sources and JSON artifacts."""
+    python_files: list[Path] = []
+    json_files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise CheckError(f"no such path: {path}")
+        if path.is_dir():
+            python_files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+            continue
+        if path.suffix == ".py":
+            python_files.append(path)
+        elif path.suffix == ".json":
+            json_files.append(path)
+        else:
+            raise CheckError(
+                f"cannot check {path}: expected a directory, .py or .json file"
+            )
+    return python_files, json_files
+
+
+def check_source(
+    source: str,
+    filename: str = "<string>",
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules over one in-memory source snippet.
+
+    ``filename`` participates in rule scoping (``core/x.py`` is treated
+    as simulation-core code), which makes this the natural entry point
+    for fixture-based tests.
+    """
+    instances = _select_rules(rules)
+    try:
+        ctx = FileContext(Path(filename), source, display_path=filename)
+    except SyntaxError as exc:
+        raise CheckError(f"{filename}: syntax error: {exc}") from exc
+    findings: list[Finding] = []
+    for rule in instances:
+        if rule.applies_to(ctx):
+            findings.extend(rule.run(ctx))
+    for rule in instances:
+        findings.extend(rule.finish())
+    return sorted(findings, key=Finding.sort_key)
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules over files and directories.
+
+    Directories are walked for ``*.py``; ``.json`` files are validated
+    as run manifests (see :mod:`repro.checks.invariants`). Returns every
+    finding, sorted by location. Raises :class:`CheckError` for missing
+    paths, unknown rules, or unparseable sources.
+    """
+    from .invariants import check_manifest_file
+
+    instances = _select_rules(rules)
+    python_files, json_files = _collect_files(paths)
+    findings: list[Finding] = []
+    for path in python_files:
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise CheckError(f"cannot read {path}: {exc}") from exc
+        try:
+            ctx = FileContext(path, source)
+        except SyntaxError as exc:
+            raise CheckError(f"{path}: syntax error: {exc}") from exc
+        for rule in instances:
+            if rule.applies_to(ctx):
+                findings.extend(rule.run(ctx))
+    for rule in instances:
+        findings.extend(rule.finish())
+    for path in json_files:
+        findings.extend(check_manifest_file(path))
+    return sorted(findings, key=Finding.sort_key)
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rule modules
+# ----------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def value_name(node: ast.AST) -> str | None:
+    """The identifier a value expression reads from, if any.
+
+    ``latency_ns`` -> ``latency_ns``; ``self.window_ns`` ->
+    ``window_ns``; ``entry["total_us"]`` -> ``total_us``. Used for
+    suffix-based unit inference.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        if isinstance(index, ast.Constant) and isinstance(index.value, str):
+            return index.value
+    return None

@@ -1,0 +1,301 @@
+"""Declarative invariant validation for data artifacts.
+
+The AST rules guard the *code*; this module guards the *data* the code
+produces and consumes. Three artifact families, one id each:
+
+- **RPR101** — platform specifications (:class:`repro.platforms.spec
+  .PlatformSpec`): Table I headline metrics consistent, waveform shape
+  parameters in range, read ratios sorted and in-domain.
+- **RPR102** — curve families: physically plausible bandwidth-latency
+  behaviour. Latency must be non-decreasing with bandwidth on the
+  pre-saturation segment — the exact property "Cleaning up the Mess"
+  used to falsify Ramulator 2.0's published curves — the unloaded
+  latency must match the platform spec when one is given, and no curve
+  may exceed the theoretical peak bandwidth.
+- **RPR103** — run manifests: schema and environment-header keys, so a
+  manifest written today stays comparable to one written last month.
+
+Validators return :class:`~repro.checks.engine.Finding` lists (empty
+means valid) instead of raising, so callers can aggregate across many
+artifacts and render them alongside lint findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from .engine import Finding
+
+if TYPE_CHECKING:  # imports only for annotations; keeps import time low
+    from ..core.family import CurveFamily
+    from ..platforms.spec import PlatformSpec
+
+#: Relative tolerance when comparing a generated family's metrics to its
+#: platform spec (calibration is approximate by construction).
+SPEC_TOLERANCE = 0.15
+
+#: Fractional latency decrease tolerated along the pre-peak segment
+#: (measured curves jitter; generated ones should be exactly monotone).
+MONOTONE_SLACK = 0.02
+
+
+def _finding(source: str, rule_id: str, message: str, hint: str = "") -> Finding:
+    return Finding(
+        path=source, line=0, col=0, rule_id=rule_id, message=message, hint=hint
+    )
+
+
+# ----------------------------------------------------------------------
+# RPR101 — platform specs
+# ----------------------------------------------------------------------
+
+def check_platform_spec(spec: "PlatformSpec") -> list[Finding]:
+    """Validate one platform spec beyond its constructor's own checks."""
+    source = f"platform:{spec.name}"
+    findings: list[Finding] = []
+    ratios = list(spec.read_ratios)
+    if ratios != sorted(ratios):
+        findings.append(
+            _finding(source, "RPR101", "read_ratios are not sorted ascending")
+        )
+    if any(not 0.0 <= ratio <= 1.0 for ratio in ratios):
+        findings.append(
+            _finding(source, "RPR101", f"read_ratios outside [0, 1]: {ratios}")
+        )
+    lo, hi = spec.max_latency_range_ns
+    if lo < spec.unloaded_latency_ns:
+        findings.append(
+            _finding(
+                source,
+                "RPR101",
+                f"max-latency range [{lo}, {hi}] ns starts below the "
+                f"unloaded latency {spec.unloaded_latency_ns} ns",
+                hint="loaded latency can only exceed the unloaded latency",
+            )
+        )
+    stream_lo, stream_hi = spec.stream_range_pct
+    if not 0 < stream_lo <= stream_hi <= 100:
+        findings.append(
+            _finding(
+                source,
+                "RPR101",
+                f"STREAM range [{stream_lo}, {stream_hi}]% is not a valid "
+                "percentage interval",
+            )
+        )
+    waveform = spec.waveform
+    if waveform is not None:
+        if not 0.0 <= waveform.read_ratio_threshold <= 1.0:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR101",
+                    "waveform read_ratio_threshold outside [0, 1]: "
+                    f"{waveform.read_ratio_threshold}",
+                )
+            )
+        if not 0.0 < waveform.depth_fraction < 1.0:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR101",
+                    "waveform depth_fraction outside (0, 1): "
+                    f"{waveform.depth_fraction}",
+                )
+            )
+        if waveform.points < 1:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR101",
+                    f"waveform needs at least one point, got {waveform.points}",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPR102 — curve families
+# ----------------------------------------------------------------------
+
+def check_curve_family(
+    family: "CurveFamily",
+    spec: "PlatformSpec | None" = None,
+    *,
+    tolerance: float = SPEC_TOLERANCE,
+    monotone_slack: float = MONOTONE_SLACK,
+) -> list[Finding]:
+    """Validate a curve family's physical plausibility.
+
+    With ``spec`` given, also checks calibration: the unloaded latency
+    and peak bandwidth must land near the Table I values.
+    """
+    source = f"family:{family.name}"
+    findings: list[Finding] = []
+    for curve in family:
+        label = f"curve r={curve.read_ratio:.2f}"
+        bandwidth = curve.bandwidth_gbps
+        latency = curve.latency_ns
+        peak = int(bandwidth.argmax())
+        for index in range(1, peak + 1):
+            allowed_floor = latency[index - 1] * (1.0 - monotone_slack)
+            if latency[index] < allowed_floor:
+                findings.append(
+                    _finding(
+                        source,
+                        "RPR102",
+                        f"{label}: latency drops from "
+                        f"{latency[index - 1]:.1f} to {latency[index]:.1f} ns "
+                        f"while bandwidth rises (point {index})",
+                        hint=(
+                            "loaded latency decreasing under higher pressure "
+                            "is physically implausible — the signature of a "
+                            "miscalibrated simulator curve"
+                        ),
+                    )
+                )
+        if curve.unloaded_latency_ns > curve.max_latency_ns:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR102",
+                    f"{label}: unloaded latency exceeds the curve maximum",
+                )
+            )
+    theoretical = family.theoretical_bandwidth_gbps
+    if theoretical is not None:
+        for curve in family:
+            if curve.max_bandwidth_gbps > theoretical * 1.01:
+                findings.append(
+                    _finding(
+                        source,
+                        "RPR102",
+                        f"curve r={curve.read_ratio:.2f} peaks at "
+                        f"{curve.max_bandwidth_gbps:.1f} GB/s, above the "
+                        f"theoretical {theoretical:.1f} GB/s",
+                    )
+                )
+    if spec is not None:
+        reference = spec.unloaded_latency_ns
+        measured = min(curve.unloaded_latency_ns for curve in family)
+        if abs(measured - reference) > tolerance * reference:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR102",
+                    f"unloaded latency {measured:.1f} ns is outside "
+                    f"{tolerance:.0%} of the Table I value {reference:.1f} ns",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPR103 — run manifests
+# ----------------------------------------------------------------------
+
+_VALID_STATUSES = ("ok", "error")
+_ENVIRONMENT_KEYS = ("python_version", "platform")
+
+
+def check_manifest(payload: Mapping, source: str = "<manifest>") -> list[Finding]:
+    """Validate a run-manifest document (parsed JSON)."""
+    findings: list[Finding] = []
+    if not isinstance(payload, Mapping):
+        return [_finding(source, "RPR103", "manifest is not a JSON object")]
+    version = payload.get("manifest_version")
+    if not isinstance(version, int) or version < 1:
+        findings.append(
+            _finding(
+                source,
+                "RPR103",
+                f"manifest_version must be a positive integer, got {version!r}",
+            )
+        )
+    for key in _ENVIRONMENT_KEYS:
+        value = payload.get(key)
+        if not (isinstance(value, str) and value):
+            findings.append(
+                _finding(
+                    source,
+                    "RPR103",
+                    f"environment header key {key!r} missing or empty",
+                    hint=(
+                        "manifests record the interpreter and OS so runs stay "
+                        "comparable; see repro.runner.manifest.environment_header"
+                    ),
+                )
+            )
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, list):
+        findings.append(
+            _finding(source, "RPR103", "manifest has no 'experiments' list")
+        )
+        return findings
+    for index, record in enumerate(experiments):
+        where = f"experiments[{index}]"
+        if not isinstance(record, Mapping):
+            findings.append(
+                _finding(source, "RPR103", f"{where} is not an object")
+            )
+            continue
+        experiment_id = record.get("experiment_id")
+        if not (isinstance(experiment_id, str) and experiment_id):
+            findings.append(
+                _finding(source, "RPR103", f"{where}: missing experiment_id")
+            )
+        status = record.get("status")
+        if status not in _VALID_STATUSES:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR103",
+                    f"{where}: status must be one of {_VALID_STATUSES}, "
+                    f"got {status!r}",
+                )
+            )
+        if status == "error" and not record.get("error"):
+            findings.append(
+                _finding(
+                    source,
+                    "RPR103",
+                    f"{where}: status is 'error' but no error message recorded",
+                )
+            )
+        digest = record.get("result_digest")
+        if digest is not None and not (
+            isinstance(digest, str)
+            and len(digest) >= 8
+            and all(ch in "0123456789abcdef" for ch in digest)
+        ):
+            findings.append(
+                _finding(
+                    source,
+                    "RPR103",
+                    f"{where}: result_digest {digest!r} is not a hex digest",
+                )
+            )
+        for key in ("duration_s", "rows", "cache_hits", "cache_misses"):
+            value = record.get(key, 0)
+            if not isinstance(value, (int, float)) or value < 0:
+                findings.append(
+                    _finding(
+                        source,
+                        "RPR103",
+                        f"{where}: {key} must be a non-negative number, "
+                        f"got {value!r}",
+                    )
+                )
+    return findings
+
+
+def check_manifest_file(path: str | Path) -> list[Finding]:
+    """Read and validate one manifest JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [_finding(str(path), "RPR103", f"cannot read manifest: {exc}")]
+    return check_manifest(payload, source=str(path))

@@ -1,0 +1,136 @@
+"""RPR002 — determinism of the simulation core.
+
+The runner's content-addressed cache (PR 1) keys results by a digest of
+the experiment's configuration and equates "same digest" with "same
+table". That is only sound if ``core/``, ``dram/``, ``cpu/`` and
+``memmodels/`` are pure functions of their inputs. This rule flags the
+classic entropy leaks inside those packages:
+
+- ``import random`` / unseeded ``numpy.random.default_rng()`` — use a
+  seeded generator threaded through the configuration;
+- wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``)
+  — simulation time is the only clock the core may observe;
+- iteration over set displays/constructors — Python's set order varies
+  across processes (string hash randomization), so iterating a set
+  desynchronizes any downstream that is order-sensitive. Wrap the set
+  in ``sorted(...)``.
+
+Randomness used by workloads and the pointer-chase probe is fine: those
+live outside the scanned packages and are seeded explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import DETERMINISTIC_PACKAGES, FileContext, Rule, dotted_name, register_rule
+
+#: Call targets that read entropy or wall-clock state.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+    }
+)
+
+_RNG_FACTORIES = frozenset(
+    {
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "random.Random",
+    }
+)
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "RPR002"
+    title = "nondeterminism inside the simulation core"
+    hint = (
+        "the content-addressed cache assumes core/dram/cpu/memmodels are "
+        "deterministic; thread a seed through the configuration or use "
+        "simulation time instead"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(ctx.parts & DETERMINISTIC_PACKAGES)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in ("random", "secrets", "uuid"):
+                self.report(
+                    node,
+                    f"import of entropy module {alias.name!r} in the "
+                    "simulation core",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root in ("random", "secrets"):
+            self.report(
+                node,
+                f"import from entropy module {node.module!r} in the "
+                "simulation core",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            if name in _FORBIDDEN_CALLS:
+                self.report(
+                    node,
+                    f"call to {name}() in the simulation core "
+                    "(wall-clock / entropy source)",
+                )
+            elif name in _RNG_FACTORIES and not (node.args or node.keywords):
+                self.report(
+                    node,
+                    f"{name}() without a seed in the simulation core",
+                    hint="pass an explicit seed so runs are reproducible",
+                )
+            elif name.startswith("random."):
+                self.report(
+                    node,
+                    f"call to {name}() uses the process-global RNG",
+                )
+        self.generic_visit(node)
+
+    def _flag_set_iteration(self, node: ast.AST, iterable: ast.AST) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            self.report(
+                node,
+                "iteration over a set: order varies across processes",
+                hint="iterate sorted(...) so downstream order is stable",
+            )
+        elif (
+            isinstance(iterable, ast.Call)
+            and dotted_name(iterable.func) in ("set", "frozenset")
+        ):
+            self.report(
+                node,
+                "iteration over set(...): order varies across processes",
+                hint="iterate sorted(...) so downstream order is stable",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._flag_set_iteration(node.iter, node.iter)
+        self.generic_visit(node)

@@ -1,0 +1,99 @@
+"""RPR005 — float equality on measured quantities.
+
+Latencies, bandwidths and wall times come out of floating-point
+accumulation (window sums, interpolation, controller updates), so exact
+``==`` / ``!=`` against them encodes an assumption the arithmetic does
+not guarantee. The classic failure: a convergence test
+``latency_ns == previous_ns`` that never fires because the controller
+oscillates in the last ulp.
+
+The rule fires when either side of an equality is an identifier whose
+suffix marks it as a measured quantity (``_ns``, ``_us``, ``_gbps``,
+``_s``) or a non-integral float literal. Comparisons against exact
+sentinel floats (``0.0``, ``-1.0``) stay legal — they are assignments
+read back, not measurements — as are ordering comparisons, which are
+well-defined on floats.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileContext, Rule, register_rule, value_name
+
+#: Suffixes marking a measured (accumulated / interpolated) quantity.
+_MEASURED_SUFFIXES = frozenset({"ns", "us", "gbps", "s"})
+
+#: Float literals that act as exact sentinels rather than measurements.
+_SENTINELS = frozenset({0.0, 1.0, -1.0})
+
+
+def _is_measured_name(node: ast.AST) -> bool:
+    name = value_name(node)
+    if name is None:
+        return False
+    tail = name.lower().rsplit("_", 1)
+    return len(tail) == 2 and tail[1] in _MEASURED_SUFFIXES
+
+
+def _literal_value(node: ast.AST) -> object:
+    """The constant a node denotes, unwrapping a unary minus."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_value(node.operand)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return -inner
+        return None
+    if isinstance(node, ast.Constant):
+        return node.value
+    return None
+
+
+def _is_measured_literal(node: ast.AST) -> bool:
+    value = _literal_value(node)
+    return isinstance(value, float) and value not in _SENTINELS
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    rule_id = "RPR005"
+    title = "exact equality on a measured floating-point quantity"
+    hint = (
+        "use math.isclose / pytest.approx or an explicit tolerance; "
+        "exact float equality only holds for values assigned, never "
+        "for values measured"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                for side, other in ((left, comparator), (comparator, left)):
+                    if _is_measured_name(side) and not _is_exempt(other):
+                        self.report(
+                            node,
+                            f"equality against measured quantity "
+                            f"{value_name(side)!r}",
+                        )
+                        break
+                    if _is_measured_literal(side):
+                        self.report(
+                            node,
+                            "equality against float literal "
+                            f"{_literal_value(side)!r}",
+                        )
+                        break
+            left = comparator
+        self.generic_visit(node)
+
+
+def _is_exempt(node: ast.AST) -> bool:
+    """Comparisons against None/sentinel constants are exact by design."""
+    value = _literal_value(node)
+    if value is None and not (
+        isinstance(node, ast.Constant) and node.value is None
+    ):
+        return False
+    return value is None or value in _SENTINELS or value == 0

@@ -1,0 +1,87 @@
+"""RPR001 — unit-safe arithmetic.
+
+Every simulator in this package works internally in nanoseconds and
+bytes, with conversions funneled through :mod:`repro.units`. Identifier
+names carry their unit as a suffix (``latency_ns``, ``peak_gbps``,
+``window_bytes``, ``cas_cycles``), so mixing two *different* units in
+additive arithmetic or an ordering comparison is a bug that no type
+checker sees — ``latency_ns + cas_cycles`` type-checks as
+``float + float`` and silently produces garbage.
+
+Multiplication and division are exempt: they are how conversions are
+written (``cycles / freq_ghz``, ``bytes / elapsed_ns``), and a product
+of two units is a new unit, not a category error.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileContext, Rule, register_rule, value_name
+
+#: Recognized unit suffixes. A name carries a unit when it ends in
+#: ``_<suffix>`` (or is exactly the suffix, e.g. a parameter named
+#: ``ns``). ``us`` rides along with the issue's four because telemetry
+#: timestamps use it and mixing it with ``ns`` is the classic 1000x bug.
+UNIT_SUFFIXES = frozenset({"ns", "us", "cycles", "gbps", "bytes"})
+
+#: Units that measure the same dimension still must not be *added*
+#: without conversion — there is no compatibility table on purpose.
+
+
+def unit_of(node: ast.AST) -> str | None:
+    """The unit an expression's identifier claims, if any."""
+    name = value_name(node)
+    if name is None:
+        return None
+    name = name.lower()
+    if name in UNIT_SUFFIXES:
+        return name
+    tail = name.rsplit("_", 1)
+    if len(tail) == 2 and tail[1] in UNIT_SUFFIXES:
+        return tail[1]
+    return None
+
+
+@register_rule
+class UnitSafetyRule(Rule):
+    rule_id = "RPR001"
+    title = "additive arithmetic or comparison mixing different units"
+    hint = (
+        "convert through repro.units (cycles_to_ns, gbps_to_bytes_per_ns, ...) "
+        "before combining quantities of different units"
+    )
+
+    def _check_pair(self, node: ast.AST, left: ast.AST, right: ast.AST, verb: str) -> None:
+        left_unit = unit_of(left)
+        right_unit = unit_of(right)
+        if left_unit and right_unit and left_unit != right_unit:
+            self.report(
+                node,
+                f"{verb} mixes units: "
+                f"{value_name(left)!r} [{left_unit}] vs "
+                f"{value_name(right)!r} [{right_unit}]",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.left, node.right, "arithmetic")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.target, node.value, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(
+                op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+            ):
+                self._check_pair(node, left, comparator, "comparison")
+            left = comparator
+        self.generic_visit(node)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True

@@ -25,6 +25,12 @@ Commands
 ``telemetry summarize PATH [--json]``
     Roll up an exported telemetry file (Chrome trace or JSONL): span
     durations, counter totals, control-loop sample ranges.
+``check [--rules RPR001,...] [--format text|json] [--list-rules]
+[PATH ...]``
+    Run the project-specific static-analysis pass (unit safety,
+    determinism, telemetry hot path, registry hygiene, float equality;
+    ``.json`` paths are validated as run manifests). Exits 1 when any
+    finding is reported. Defaults to checking the installed package.
 ``curves <platform> [--csv PATH]``
     Print (and optionally save) a preset platform's curve family.
 ``characterize [--cores N] [--channels C] [--preset TIMING]``
@@ -39,8 +45,11 @@ import ast
 import json
 import sys
 
+from pathlib import Path
+
 from . import telemetry
 from .bench.harness import MessBenchmark, MessBenchmarkConfig
+from .checks import available_rules, run_checks
 from .core.metrics import compute_metrics
 from .cpu.system import SystemConfig
 from .dram.timing import PRESETS, preset
@@ -215,6 +224,34 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, title in available_rules():
+            print(f"{rule_id}  {title}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = sorted(
+            {item.strip() for spec in args.rules for item in spec.split(",") if item.strip()}
+        )
+    # Default target: the installed package itself, so `repro check`
+    # works from any checkout layout (and from an installed wheel).
+    paths = args.paths or [str(Path(__file__).parent)]
+    findings = run_checks(paths, rules=rules)
+    if args.format == "json":
+        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        scope = ", ".join(paths)
+        if findings:
+            print(f"{len(findings)} {noun} in {scope}")
+        else:
+            print(f"clean: no findings in {scope}")
+    return 1 if findings else 0
+
+
 def _cmd_curves(args: argparse.Namespace) -> int:
     families = _platform_families()
     if args.platform not in families:
@@ -366,6 +403,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the summary as JSON"
     )
     telemetry_parser.set_defaults(func=_cmd_telemetry)
+
+    check_parser = commands.add_parser(
+        "check", help="run the project-specific static-analysis pass"
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to check (default: the repro package)",
+    )
+    check_parser.add_argument(
+        "--rules",
+        action="append",
+        default=[],
+        metavar="IDS",
+        help="comma-separated rule ids to run (repeatable; default: all)",
+    )
+    check_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format",
+    )
+    check_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rule ids and exit",
+    )
+    check_parser.set_defaults(func=_cmd_check)
 
     curves_parser = commands.add_parser(
         "curves", help="print a preset platform's curve family"

@@ -1,5 +1,7 @@
 """Core Mess abstractions: curves, metrics, stress scoring, simulator."""
 
+from __future__ import annotations
+
 from .builder import CurveBuilder, MeasurementPoint
 from .controller import PIController
 from .curve import BandwidthLatencyCurve

@@ -1,5 +1,7 @@
 """Event-driven CPU substrate: engine, caches, cores, system."""
 
+from __future__ import annotations
+
 from .cache import AccessOutcome, Cache, CacheConfig, CacheStats, HierarchyConfig
 from .core import Core, CoreStats, Delay, MemOp, Operation
 from .engine import Engine

@@ -1,5 +1,7 @@
 """Cycle-level DRAM substrate: timings, address mapping, controller."""
 
+from __future__ import annotations
+
 from .address import AddressMapper, DecodedAddress
 from .bank import BankState, RankState
 from .controller import DramController, ServiceResult

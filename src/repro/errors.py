@@ -44,3 +44,11 @@ class ProfilingError(MessError):
 
 class TelemetryError(MessError):
     """A telemetry instrument was declared or used inconsistently."""
+
+
+class CheckError(MessError):
+    """The static-analysis pass could not run (bad path, unknown rule).
+
+    Findings are not errors — a finding is a *result* of a successful
+    check run. This exception covers the run itself failing.
+    """

@@ -1,5 +1,7 @@
 """One module per paper table/figure; see :mod:`repro.experiments.registry`."""
 
+from __future__ import annotations
+
 from .base import ExperimentResult, scaled
 from .registry import (
     EXPERIMENTS,

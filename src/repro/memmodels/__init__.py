@@ -1,5 +1,7 @@
 """Memory-model zoo: every model the paper compares, plus CXL/NUMA."""
 
+from __future__ import annotations
+
 from .base import AccessType, MemoryModel, MemoryModelStats, MemoryRequest
 from .cxl import CxlExpanderModel
 from .cycle_accurate import CycleAccurateModel

@@ -13,6 +13,7 @@ inside :class:`repro.cpu.system.System`.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 
 from ..request import AccessType, MemoryRequest
@@ -68,7 +69,7 @@ class MemoryModelStats:
             self.reads += 1
         self.total_latency_ns += latency_ns
         self.bytes_transferred += request.size_bytes
-        if self.first_issue_ns != self.first_issue_ns:  # NaN check
+        if math.isnan(self.first_issue_ns):
             self.first_issue_ns = request.issue_time_ns
         self.last_completion_ns = max(
             self.last_completion_ns, request.issue_time_ns + latency_ns

@@ -1,5 +1,7 @@
 """Table I platform presets and synthetic curve generation."""
 
+from __future__ import annotations
+
 from .presets import (
     AMAZON_GRAVITON3,
     AMD_ZEN2,

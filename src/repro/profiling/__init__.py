@@ -1,5 +1,7 @@
 """Mess application profiling: sampling, curve positioning, Paraver."""
 
+from __future__ import annotations
+
 from .paraver import (
     EVENT_BANDWIDTH_MBPS,
     EVENT_MPI_CALL,

@@ -13,6 +13,8 @@ Three pieces:
   digests.
 """
 
+from __future__ import annotations
+
 from .cache import ResultCache, activate, active_cache, deactivate, default_cache_dir
 from .manifest import ExperimentRecord, RunManifest, environment_header
 from .pool import RunOutcome, run_many

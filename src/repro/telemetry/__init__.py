@@ -29,6 +29,8 @@ Typical use::
     telemetry.deactivate()
 """
 
+from __future__ import annotations
+
 from .exporters import (
     chrome_trace,
     jsonl_lines,

@@ -132,7 +132,9 @@ def summarize_file(path: str | Path) -> dict:
     path = Path(path)
     try:
         text = path.read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
+        # Missing path, directory, or binary junk: all become a one-line
+        # CLI error (exit 1) via the MessError handler, never a traceback.
         raise TelemetryError(f"cannot read telemetry file {path}: {exc}") from exc
     stripped = text.lstrip()
     if not stripped:

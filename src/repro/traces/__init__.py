@@ -1,5 +1,7 @@
 """Memory traces: format, capture from simulation, trace-driven replay."""
 
+from __future__ import annotations
+
 from .capture import TraceCapturingModel
 from .driver import (
     ReplayResult,

@@ -1,5 +1,7 @@
 """Evaluation workloads: STREAM, LMbench, multichase, HPCG, GUPS, SPEC."""
 
+from __future__ import annotations
+
 from .base import Workload, simulation_error_pct
 from .gups import GupsWorkload, gups_ops
 from .hpcg import HPCG_ITERATION, HpcgPhaseProfile, HpcgProxy, PhaseSegment
