@@ -21,6 +21,7 @@ from ..cpu.system import System, SystemConfig
 from ..errors import BenchmarkError, CurveError
 from ..memmodels.base import MemoryModel, MemoryModelStats
 from ..runner import cache as result_cache
+from ..specs import SpecConvertible
 from ..telemetry import registry as telemetry
 from .pointer_chase import pointer_chase_ops
 from .traffic_gen import (
@@ -31,7 +32,7 @@ from .traffic_gen import (
 
 
 @dataclass(frozen=True)
-class MessBenchmarkConfig:
+class MessBenchmarkConfig(SpecConvertible):
     """Sweep parameters of one characterization campaign.
 
     Defaults trace six curves (100% loads to 100% stores) over eleven

@@ -22,12 +22,13 @@ from dataclasses import dataclass
 from ..core.builder import CurveBuilder
 from ..core.family import CurveFamily
 from ..errors import BenchmarkError
+from ..specs import SpecConvertible
 from ..memmodels.base import AccessType, MemoryModel, MemoryRequest
 from ..units import CACHE_LINE_BYTES
 
 
 @dataclass(frozen=True)
-class ProbeConfig:
+class ProbeConfig(SpecConvertible):
     """Sweep parameters for the direct model probe.
 
     ``gaps_ns`` are target inter-request issue gaps (smaller = more

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from ..cpu.core import Delay, MemOp, Operation
 from ..errors import BenchmarkError
+from ..specs import SpecConvertible
 from ..units import CACHE_LINE_BYTES
 
 #: Simulated cost of one nop-loop iteration, in nanoseconds. Matches a
@@ -60,7 +61,7 @@ def store_fraction_for_read_ratio(read_ratio: float) -> float:
 
 
 @dataclass(frozen=True)
-class TrafficGenConfig:
+class TrafficGenConfig(SpecConvertible):
     """One traffic-generator kernel configuration.
 
     ``ops_per_burst`` mirrors the ~100-instruction unrolled loop body of

@@ -7,10 +7,11 @@ Two halves:
   (:mod:`.rules_determinism`), RPR003 telemetry hot path
   (:mod:`.rules_hotpath`), RPR004 registry hygiene
   (:mod:`.rules_registry`), RPR005 float equality
-  (:mod:`.rules_floats`);
+  (:mod:`.rules_floats`), RPR006 scenario-layer boundary
+  (:mod:`.rules_scenario`);
 - declarative invariant validators for data artifacts
   (:mod:`.invariants`): platform specs (RPR101), curve families
-  (RPR102) and run manifests (RPR103).
+  (RPR102), run manifests (RPR103) and scenario files (RPR104).
 
 Entry points: :func:`run_checks` (what ``repro check`` calls),
 :func:`check_source` (for fixture tests), and the per-artifact
@@ -38,12 +39,16 @@ from . import rules_determinism  # noqa: F401
 from . import rules_floats  # noqa: F401
 from . import rules_hotpath  # noqa: F401
 from . import rules_registry  # noqa: F401
+from . import rules_scenario  # noqa: F401
 from . import rules_units  # noqa: F401
 from .invariants import (
     check_curve_family,
+    check_json_file,
     check_manifest,
     check_manifest_file,
     check_platform_spec,
+    check_scenario,
+    check_scenario_file,
 )
 
 __all__ = [
@@ -52,10 +57,13 @@ __all__ = [
     "RULE_CLASSES",
     "available_rules",
     "check_curve_family",
+    "check_json_file",
     "check_manifest",
     "check_manifest_file",
     "check_paths",
     "check_platform_spec",
+    "check_scenario",
+    "check_scenario_file",
     "check_source",
     "register_rule",
     "run_checks",

@@ -256,11 +256,13 @@ def check_paths(
     """Run the selected rules over files and directories.
 
     Directories are walked for ``*.py``; ``.json`` files are validated
-    as run manifests (see :mod:`repro.checks.invariants`). Returns every
-    finding, sorted by location. Raises :class:`CheckError` for missing
-    paths, unknown rules, or unparseable sources.
+    as run manifests, or as scenarios when they carry the
+    ``repro_scenario`` marker (see :mod:`repro.checks.invariants`).
+    Returns every finding, sorted by location. Raises
+    :class:`CheckError` for missing paths, unknown rules, or
+    unparseable sources.
     """
-    from .invariants import check_manifest_file
+    from .invariants import check_json_file
 
     instances = _select_rules(rules)
     python_files, json_files = _collect_files(paths)
@@ -280,7 +282,7 @@ def check_paths(
     for rule in instances:
         findings.extend(rule.finish())
     for path in json_files:
-        findings.extend(check_manifest_file(path))
+        findings.extend(check_json_file(path))
     return sorted(findings, key=Finding.sort_key)
 
 

@@ -14,6 +14,10 @@ produces and consumes. Three artifact families, one id each:
   may exceed the theoretical peak bandwidth.
 - **RPR103** — run manifests: schema and environment-header keys, so a
   manifest written today stays comparable to one written last month.
+- **RPR104** — scenario files (:mod:`repro.scenario`): the document
+  must parse as a :class:`~repro.scenario.core.Scenario` and pass its
+  own semantic validation, so a checked-in scenario is guaranteed
+  runnable by ``repro run --scenario``.
 
 Validators return :class:`~repro.checks.engine.Finding` lists (empty
 means valid) instead of raising, so callers can aggregate across many
@@ -298,4 +302,63 @@ def check_manifest_file(path: str | Path) -> list[Finding]:
         payload = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         return [_finding(str(path), "RPR103", f"cannot read manifest: {exc}")]
+    return check_manifest(payload, source=str(path))
+
+
+# ----------------------------------------------------------------------
+# RPR104 — scenario files
+# ----------------------------------------------------------------------
+
+def check_scenario(payload: Mapping, source: str = "<scenario>") -> list[Finding]:
+    """Validate a scenario document (parsed JSON)."""
+    from ..errors import MessError
+    from ..scenario.core import Scenario
+
+    if not isinstance(payload, Mapping):
+        return [_finding(source, "RPR104", "scenario is not a JSON object")]
+    try:
+        scenario = Scenario.from_spec(payload, where=source)
+    except MessError as exc:
+        return [
+            _finding(
+                source,
+                "RPR104",
+                str(exc),
+                hint=(
+                    "see `repro scenario show <preset>` for a valid document "
+                    "and examples/ for a runnable one"
+                ),
+            )
+        ]
+    return [
+        _finding(source, "RPR104", problem) for problem in scenario.validate()
+    ]
+
+
+def check_scenario_file(path: str | Path) -> list[Finding]:
+    """Read and validate one scenario JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [_finding(str(path), "RPR104", f"cannot read scenario: {exc}")]
+    return check_scenario(payload, source=str(path))
+
+
+def check_json_file(path: str | Path) -> list[Finding]:
+    """Validate one ``.json`` artifact, dispatching on its shape.
+
+    Documents carrying the :data:`repro.scenario.core.FORMAT_KEY`
+    marker are validated as scenarios (RPR104); everything else is
+    treated as a run manifest (RPR103).
+    """
+    from ..scenario.core import FORMAT_KEY
+
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [_finding(str(path), "RPR103", f"cannot read manifest: {exc}")]
+    if isinstance(payload, Mapping) and FORMAT_KEY in payload:
+        return check_scenario(payload, source=str(path))
     return check_manifest(payload, source=str(path))

@@ -8,16 +8,26 @@ Commands
 --------
 ``list``
     Show every registered experiment with its title, tags and cost.
-``run [EXPERIMENT ...] [--all] [--jobs N] [--scale S] [--opt K=V]
-[--cache-dir DIR] [--no-cache] [--manifest PATH] [--csv PATH]
-[--trace PATH] [--metrics PATH]``
-    Run one or many experiments — in parallel with ``--jobs``, through
-    the content-addressed on-disk cache unless ``--no-cache`` — print
-    their tables, and write a JSON run manifest (wall times, row
-    counts, cache hits, result digests). ``--trace`` collects telemetry
-    and writes a Chrome trace-event file (``chrome://tracing`` /
-    Perfetto); ``--metrics`` writes a Prometheus text snapshot; either
-    flag also embeds a per-experiment telemetry summary in the manifest.
+``run [EXPERIMENT ...] [--scenario FILE|PRESET] [--all] [--jobs N]
+[--scale S] [--opt K=V] [--cache-dir DIR] [--no-cache]
+[--manifest PATH] [--csv PATH] [--trace PATH] [--metrics PATH]``
+    Run one or many experiments and/or scenarios — in parallel with
+    ``--jobs``, through the content-addressed on-disk cache unless
+    ``--no-cache`` — print their tables, and write a JSON run manifest
+    (wall times, row counts, cache hits, result digests).
+    ``--scenario`` takes a scenario JSON file or a preset name (see
+    ``repro scenario list``) and runs it through the same runner, cache
+    and telemetry path; with a single scenario, ``--opt`` pairs are
+    dotted-path overrides (``--opt system.cores=8``). ``--trace``
+    collects telemetry and writes a Chrome trace-event file
+    (``chrome://tracing`` / Perfetto); ``--metrics`` writes a
+    Prometheus text snapshot; either flag also embeds a per-experiment
+    telemetry summary in the manifest.
+``scenario {list,show,validate,digest} [SCENARIO ...] [--scale S]``
+    Work with declarative scenarios: list the named presets, show a
+    preset or file as canonical JSON, validate scenario files (exit 1
+    on problems), or print the stable content digest the cache keys
+    on.
 ``cache {info,clear} [--cache-dir DIR] [--json]``
     Inspect or empty the on-disk cache (default ``~/.cache/repro-mess``,
     overridable via ``$REPRO_CACHE_DIR``). ``info --json`` emits a
@@ -28,9 +38,11 @@ Commands
 ``check [--rules RPR001,...] [--format text|json] [--list-rules]
 [PATH ...]``
     Run the project-specific static-analysis pass (unit safety,
-    determinism, telemetry hot path, registry hygiene, float equality;
-    ``.json`` paths are validated as run manifests). Exits 1 when any
-    finding is reported. Defaults to checking the installed package.
+    determinism, telemetry hot path, registry hygiene, float equality,
+    scenario-layer boundary; ``.json`` paths are validated as run
+    manifests or — when they carry the ``repro_scenario`` marker — as
+    scenario files). Exits 1 when any finding is reported. Defaults to
+    checking the installed package.
 ``curves <platform> [--csv PATH]``
     Print (and optionally save) a preset platform's curve family.
 ``characterize [--cores N] [--channels C] [--preset TIMING]``
@@ -41,7 +53,6 @@ Commands
 from __future__ import annotations
 
 import argparse
-import ast
 import json
 import sys
 
@@ -53,7 +64,7 @@ from .checks import available_rules, run_checks
 from .core.metrics import compute_metrics
 from .cpu.system import SystemConfig
 from .dram.timing import PRESETS, preset
-from .errors import MessError
+from .errors import ConfigurationError, MessError
 from .experiments.registry import SPECS, experiment_ids
 from .memmodels.cycle_accurate import CycleAccurateModel
 from .platforms.presets import (
@@ -64,6 +75,12 @@ from .platforms.presets import (
     remote_socket_family,
 )
 from .runner import ResultCache, run_many
+from .scenario import (
+    load_scenario,
+    parse_assignments,
+    preset_scenario,
+    scenario_ids,
+)
 
 _SPECIAL_FAMILIES = {
     "cxl": cxl_expander_family,
@@ -93,22 +110,29 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _parse_options(pairs: list[str]) -> dict:
-    """``--opt key=value`` pairs -> a keyword-option dict.
+    """``--opt key=value`` pairs -> a typed keyword-option dict.
 
-    Values are parsed as Python literals when possible (``1``, ``2.5``,
-    ``True``, ``None``) and fall back to plain strings otherwise.
+    Shares :func:`repro.scenario.options.parse_assignments` with the
+    scenario override path, so experiment options and scenario
+    overrides coerce values identically.
     """
-    options: dict = {}
-    for pair in pairs:
-        key, separator, raw = pair.partition("=")
-        if not separator or not key:
-            raise SystemExit(f"error: --opt expects key=value, got {pair!r}")
-        try:
-            value = ast.literal_eval(raw)
-        except (ValueError, SyntaxError):
-            value = raw
-        options[key] = value
-    return options
+    try:
+        return parse_assignments(pairs)
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: --opt {exc}") from exc
+
+
+def _resolve_scenario(ref: str, scale: float = 1.0):
+    """A scenario reference: a preset name or a scenario JSON file."""
+    path = Path(ref)
+    if path.suffix == ".json" or path.exists():
+        return load_scenario(path)
+    if ref in scenario_ids():
+        return preset_scenario(ref, scale)
+    raise ConfigurationError(
+        f"unknown scenario {ref!r}: not a file, and not one of "
+        + ", ".join(scenario_ids())
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -121,7 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             raise SystemExit(2)
         ids = experiment_ids()
-    if not ids:
+    scenarios = [_resolve_scenario(ref, args.scale) for ref in args.scenario]
+    if not ids and not scenarios:
         print("error: no experiments given (try --all)", file=sys.stderr)
         raise SystemExit(2)
     unknown = sorted(set(ids) - set(SPECS))
@@ -134,13 +159,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(2)
 
     options = _parse_options(args.opt)
-    if options and len(ids) != 1:
-        print(
-            "error: --opt applies to a single experiment", file=sys.stderr
-        )
-        raise SystemExit(2)
+    experiment_options = None
+    if options:
+        if len(ids) == 1 and not scenarios:
+            experiment_options = {ids[0]: options}
+        elif len(scenarios) == 1 and not ids:
+            # dotted-path overrides on the scenario spec
+            scenarios[0] = scenarios[0].with_overrides(options)
+        else:
+            print(
+                "error: --opt applies to a single experiment or a single "
+                "scenario",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
 
-    total = len(ids)
+    labels = ids + [f"scenario:{scenario.name}" for scenario in scenarios]
+    total = len(labels)
     done = 0
 
     def progress(record) -> None:
@@ -159,14 +194,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ids,
         jobs=args.jobs,
         scale=args.scale,
-        options={ids[0]: options} if options else None,
+        options=experiment_options,
+        scenarios=scenarios or None,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=progress,
         collect_telemetry=collect_telemetry,
     )
-    for experiment_id in ids:
-        result = outcome.results.get(experiment_id)
+    for label in labels:
+        result = outcome.results.get(label)
         if result is not None:
             print()
             print(result.format_table())
@@ -174,7 +210,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if total != 1:
             print("error: --csv applies to a single experiment", file=sys.stderr)
             raise SystemExit(2)
-        result = outcome.results.get(ids[0])
+        result = outcome.results.get(labels[0])
         if result is not None:
             result.to_csv(args.csv)
             print(f"rows written to {args.csv}")
@@ -250,6 +286,49 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"clean: no findings in {scope}")
     return 1 if findings else 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        for name in scenario_ids():
+            scenario = preset_scenario(name)
+            print(f"{name:24s} {scenario.description or scenario.name}")
+        return 0
+    refs = list(args.refs)
+    if args.action == "validate" and not refs:
+        refs = scenario_ids()
+    if not refs:
+        print(
+            f"error: scenario {args.action} needs a preset name or a "
+            "scenario JSON file",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    failures = 0
+    for ref in refs:
+        try:
+            scenario = _resolve_scenario(ref, args.scale)
+        except MessError as exc:
+            if args.action != "validate":
+                raise
+            failures += 1
+            print(f"{ref}: FAIL")
+            print(f"  {exc}")
+            continue
+        if args.action == "show":
+            print(json.dumps(scenario.to_spec(), indent=2, sort_keys=True))
+        elif args.action == "digest":
+            print(f"{scenario.digest()}  {ref}")
+        else:  # validate
+            problems = scenario.validate()
+            if problems:
+                failures += 1
+                print(f"{ref}: FAIL")
+                for problem in problems:
+                    print(f"  {problem}")
+            else:
+                print(f"{ref}: ok ({scenario.digest()[:12]})")
+    return 1 if failures else 0
 
 
 def _cmd_curves(args: argparse.Namespace) -> int:
@@ -346,6 +425,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--scale", type=float, default=1.0)
     run_parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="SCENARIO",
+        help=(
+            "scenario JSON file or preset name to run (repeatable; see "
+            "`repro scenario list`)"
+        ),
+    )
+    run_parser.add_argument(
         "--opt",
         action="append",
         default=[],
@@ -432,6 +521,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="list available rule ids and exit",
     )
     check_parser.set_defaults(func=_cmd_check)
+
+    scenario_parser = commands.add_parser(
+        "scenario", help="list, show, validate or digest scenarios"
+    )
+    scenario_parser.add_argument(
+        "action", choices=("list", "show", "validate", "digest")
+    )
+    scenario_parser.add_argument(
+        "refs",
+        nargs="*",
+        metavar="SCENARIO",
+        help="preset name or scenario JSON file",
+    )
+    scenario_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale factor applied when building preset scenarios",
+    )
+    scenario_parser.set_defaults(func=_cmd_scenario)
 
     curves_parser = commands.add_parser(
         "curves", help="print a preset platform's curve family"

@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
+from ..specs import SpecConvertible
 from ..units import CACHE_LINE_BYTES
 
 
@@ -181,7 +182,7 @@ class Cache:
 
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(SpecConvertible):
     """Geometry + latency of one cache level."""
 
     size_bytes: int
@@ -193,7 +194,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class HierarchyConfig:
+class HierarchyConfig(SpecConvertible):
     """Three-level cache hierarchy parameters plus the on-chip overhead.
 
     ``noc_latency_ns`` is the round-trip network-on-chip + memory

@@ -13,6 +13,7 @@ from typing import Iterator
 
 from ..errors import ConfigurationError, SimulationError
 from ..memmodels.base import MemoryModel
+from ..specs import SpecConvertible
 from .cache import HierarchyConfig
 from .core import Core, CoreStats, Operation
 from .engine import Engine
@@ -20,7 +21,7 @@ from .hierarchy import MemoryHierarchy
 
 
 @dataclass(frozen=True)
-class SystemConfig:
+class SystemConfig(SpecConvertible):
     """Static description of the simulated machine.
 
     ``issue_gap_ns`` and ``mshrs`` are per-core defaults; individual

@@ -9,13 +9,15 @@ DDR5-4800/5600, HBM2 and HBM2E.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from ..errors import ConfigurationError
+from ..specs import SpecConvertible, from_spec
 from ..units import CACHE_LINE_BYTES, ddr_rate_to_gbps
 
 
 @dataclass(frozen=True)
-class DramTiming:
+class DramTiming(SpecConvertible):
     """Timing and geometry of one DRAM channel.
 
     All delays are nanoseconds. The burst time is derived from the
@@ -105,6 +107,32 @@ class DramTiming:
     def random_read_latency(self) -> float:
         """Idle-device latency of a row-miss read (tRP + tRCD + tCL)."""
         return self.tRP + self.tRCD + self.tCL
+
+    @classmethod
+    def from_spec(cls, payload: object, where: str = "") -> "DramTiming":
+        """Resolve a timing spec: preset name, preset dict, or full spec.
+
+        Accepts ``"DDR4-2666"``, ``{"preset": "DDR4-2666"}`` or a full
+        field-by-field timing object. The canonical ``to_spec()`` form
+        is always the full object, so a scenario digest depends on the
+        actual timing values, never on how they were spelled.
+        """
+        where = where or cls.__name__
+        if isinstance(payload, str):
+            return preset(payload)
+        if isinstance(payload, Mapping) and set(payload) == {"preset"}:
+            name = payload["preset"]
+            if not isinstance(name, str):
+                raise ConfigurationError(
+                    f"{where}.preset: expected a preset name string"
+                )
+            return preset(name)
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"{where}: expected a preset name or timing object, "
+                f"got {type(payload).__name__}"
+            )
+        return from_spec(cls, payload, where=where)
 
 
 def _ddr4(name: str, rate_mts: int, cl_ns: float) -> DramTiming:

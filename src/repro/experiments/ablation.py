@@ -16,13 +16,16 @@ from ..core.simulator import MessMemorySimulator
 from ..dram.controller import DramController
 from ..dram.timing import DDR4_2666
 from ..memmodels.base import AccessType, MemoryRequest
-from ..memmodels.cycle_accurate import CycleAccurateModel
 from ..platforms.presets import INTEL_SKYLAKE, family
+from ..scenario import build_memory
 from ..traces.driver import replay_trace, replay_trace_frfcfs, synthesize_mess_trace
 from .base import ExperimentResult, scaled
 from .registry import register
 
 EXPERIMENT_ID = "ablation"
+
+#: Base spec of the DRAM substrate the scheduling/page/queue studies use.
+_SUBSTRATE = {"timing": "DDR4-2666", "channels": 6}
 
 
 def _drive_simulator(
@@ -120,7 +123,7 @@ def run(scale: float = 1.0) -> ExperimentResult:
     trace = synthesize_mess_trace(
         ops=scaled(6000, scale), read_ratio=0.75, gap_ns=0.6, streams=24
     )
-    fcfs_model = CycleAccurateModel(DDR4_2666, channels=6)
+    fcfs_model = build_memory("cycle-accurate", _SUBSTRATE)
     fcfs = replay_trace(fcfs_model, trace)
     frfcfs_controller = DramController(DDR4_2666, channels=6)
     frfcfs = replay_trace_frfcfs(frfcfs_controller, trace, window=16)
@@ -143,7 +146,9 @@ def run(scale: float = 1.0) -> ExperimentResult:
 
     # 5. page policy ----------------------------------------------------------
     for policy in ("open", "closed"):
-        model = CycleAccurateModel(DDR4_2666, channels=6, page_policy=policy)
+        model = build_memory(
+            "cycle-accurate", {**_SUBSTRATE, "page_policy": policy}
+        )
         replay = replay_trace(model, trace)
         hit, empty, miss = model.row_buffer_stats().rates()
         result.add(
@@ -160,8 +165,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
         ops=scaled(6000, scale), read_ratio=0.5, gap_ns=0.6, streams=24
     )
     for depth in (4, 16, 48, 128):
-        model = CycleAccurateModel(
-            DDR4_2666, channels=6, write_queue_depth=depth
+        model = build_memory(
+            "cycle-accurate", {**_SUBSTRATE, "write_queue_depth": depth}
         )
         replay = replay_trace(model, mixed_trace)
         result.add(

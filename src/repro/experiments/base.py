@@ -141,8 +141,5 @@ class ExperimentResult:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def scaled(base: int, scale: float, minimum: int = 1) -> int:
-    """Scale an integer quantity, clamped below by ``minimum``."""
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be positive, got {scale}")
-    return max(minimum, int(round(base * scale)))
+# re-exported from units so experiment modules keep one import site
+from ..units import scaled  # noqa: E402,F401

@@ -1,118 +1,53 @@
 """Shared fixtures for the experiment modules.
 
-The simulator-facing experiments (Figures 4-13) all need the same
-ingredients: a reference "hardware" platform built from the cycle-level
-substrate, a benchmark system configuration sized for pure-Python run
-times, and measured curve families. Families are cached per
-configuration key because several experiments reuse them.
+Experiments no longer assemble systems, DRAM timings or benchmark
+harnesses by hand: they declare scenarios (:mod:`repro.scenario`) and
+materialize them here. The helpers below wrap the scenario layer with
+the in-process family cache the experiments share — several figures
+characterize the same substrate, and within one process that
+measurement runs once.
+
+The legacy ``skylake_substrate()`` / ``graviton_substrate()`` /
+``hbm_substrate()`` factories and the string-keyed ``substrate_timing``
+lookup are gone; their machines live on as named scenario presets
+(``repro scenario list``).
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..bench.harness import MessBenchmark, MessBenchmarkConfig
 from ..core.family import CurveFamily
-from ..cpu.cache import CacheConfig, HierarchyConfig
-from ..cpu.system import SystemConfig
-from ..dram.timing import DDR4_2666, DDR5_4800, DramTiming, HBM2
-from ..memmodels.base import MemoryModel
-from ..memmodels.cycle_accurate import CycleAccurateModel
-from .base import scaled
+from ..scenario import Scenario, characterization, preset_scenario, substrate
+from ..scenario.presets import BENCH_HIERARCHY, bench_sweep, bench_system
 
-#: Cache hierarchy used by the simulated benchmark systems. Smaller
-#: than the real Skylake LLC so working sets and warmups stay tractable
-#: in pure Python; the arrays used by every workload exceed it.
-BENCH_HIERARCHY = HierarchyConfig(
-    l1=CacheConfig(32 * 1024, 8, 1.5),
-    l2=CacheConfig(256 * 1024, 8, 5.0),
-    l3=CacheConfig(2 * 1024 * 1024, 16, 18.0),
-    noc_latency_ns=45.0,
-)
+__all__ = [
+    "BENCH_HIERARCHY",
+    "bench_sweep",
+    "bench_system",
+    "characterization",
+    "measured_family",
+    "preset_family",
+    "preset_scenario",
+    "substrate",
+    "Scenario",
+]
 
-
-def bench_system_config(
-    cores: int = 24, mshrs: int = 12, in_order: bool = False
-) -> SystemConfig:
-    """Standard benchmark machine: ``cores`` OoO cores, shared LLC."""
-    return SystemConfig(
-        cores=cores,
-        hierarchy=BENCH_HIERARCHY,
-        issue_gap_ns=0.3,
-        mshrs=mshrs,
-        in_order=in_order,
-    )
+_FAMILY_CACHE: dict[str, CurveFamily] = {}
 
 
-def skylake_substrate() -> CycleAccurateModel:
-    """The reference 'actual hardware': 6-channel DDR4-2666."""
-    return CycleAccurateModel(DDR4_2666, channels=6, write_queue_depth=48)
+def measured_family(scenario: Scenario) -> CurveFamily:
+    """Characterize a scenario's memory on its system, cached.
 
-
-def graviton_substrate() -> CycleAccurateModel:
-    """Graviton 3-like hardware: 8-channel DDR5-4800."""
-    return CycleAccurateModel(DDR5_4800, channels=8, write_queue_depth=48)
-
-
-def hbm_substrate(channels: int = 16) -> CycleAccurateModel:
-    """HBM2 hardware with a configurable channel count."""
-    return CycleAccurateModel(HBM2, channels=channels, write_queue_depth=48)
-
-
-def bench_sweep(scale: float) -> MessBenchmarkConfig:
-    """Mess-benchmark sweep sized by the experiment scale factor."""
-    ratios = (0.0, 0.5, 1.0) if scale < 1.5 else (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
-    nops = (
-        (0, 100, 320, 1000, 3000)
-        if scale < 1.5
-        else (0, 30, 100, 200, 320, 600, 1000, 1800, 3000, 6000)
-    )
-    return MessBenchmarkConfig(
-        store_fractions=ratios,
-        nop_counts=nops,
-        warmup_ns=scaled(5000, min(scale, 2.0)),
-        measure_ns=scaled(12000, min(scale, 2.0)),
-        chase_array_bytes=16 * 1024 * 1024,
-        traffic_array_bytes=8 * 1024 * 1024,
-    )
-
-
-_FAMILY_CACHE: dict[tuple, CurveFamily] = {}
-
-
-def measured_family(
-    key: str,
-    memory_factory: Callable[[], MemoryModel],
-    scale: float,
-    cores: int = 24,
-    theoretical_bandwidth_gbps: float | None = None,
-) -> CurveFamily:
-    """Characterize a memory model on the benchmark system, cached.
-
-    ``key`` plus the rounded scale identifies the configuration; repeat
-    callers within one process share the measurement.
+    The scenario digest is the cache identity — both for this
+    in-process cache and (via the benchmark's ``cache_key``) for the
+    content-addressed disk cache when one is active, so repeat callers
+    across experiments and processes share the measurement.
     """
-    cache_key = (key, round(scale, 3), cores)
-    if cache_key in _FAMILY_CACHE:
-        return _FAMILY_CACHE[cache_key]
-    bench = MessBenchmark(
-        system_config=bench_system_config(cores=cores),
-        memory_factory=memory_factory,
-        config=bench_sweep(scale),
-        name=key,
-        theoretical_bandwidth_gbps=theoretical_bandwidth_gbps,
-        # second cache level: when a content-addressed disk cache is
-        # active (runner / CLI), the sweep is memoized across processes
-        # and invocations, not just within this one
-        cache_key=key,
-    )
-    family = bench.run()
-    _FAMILY_CACHE[cache_key] = family
-    return family
+    key = scenario.digest()
+    if key not in _FAMILY_CACHE:
+        _FAMILY_CACHE[key] = scenario.materialize().characterize()
+    return _FAMILY_CACHE[key]
 
 
-def substrate_timing(name: str) -> DramTiming:
-    """Timing preset lookup re-exported for experiment modules."""
-    from ..dram.timing import preset
-
-    return preset(name)
+def preset_family(name: str, scale: float) -> CurveFamily:
+    """Measured family of one named scenario preset."""
+    return measured_family(preset_scenario(name, scale))

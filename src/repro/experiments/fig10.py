@@ -2,7 +2,7 @@
 
 The closed loop of the whole framework: the cycle-level substrate is
 characterized by the Mess benchmark ("actual hardware" curves); those
-curves feed a :class:`MessMemorySimulator`; the Mess benchmark then
+curves feed a Mess-simulator scenario; the Mess benchmark then
 characterizes the *Mess-simulated* machine; the two families should
 coincide. Three memory technologies are exercised, as in the paper's
 DDR4 / DDR5 / HBM2 subfigures — with channel counts scaled down so a
@@ -13,23 +13,19 @@ for the same reason in the opposite direction).
 from __future__ import annotations
 
 from ..analysis.compare import compare_families
-from ..bench.harness import MessBenchmark
-from ..core.simulator import MessMemorySimulator
-from ..dram.timing import DDR4_2666, DDR5_4800, HBM2
 from ..errors import ConfigurationError
-from ..memmodels.cycle_accurate import CycleAccurateModel
 from .base import ExperimentResult
-from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config, measured_family
+from .common import characterization, measured_family, substrate
 from .registry import register
 
 EXPERIMENT_ID = "fig10"
 
-#: (label, timing, channels) per subfigure; channel counts sized so 24
-#: simulated cores can reach the saturated region.
+#: (label, timing preset, channels) per subfigure; channel counts sized
+#: so 24 simulated cores can reach the saturated region.
 SUBFIGURES = (
-    ("ddr4", DDR4_2666, 6),
-    ("ddr5", DDR5_4800, 3),
-    ("hbm2", HBM2, 4),
+    ("ddr4", "DDR4-2666", 6),
+    ("ddr5", "DDR5-4800", 3),
+    ("hbm2", "HBM2", 4),
 )
 
 
@@ -68,26 +64,25 @@ def run(scale: float = 1.0, *, memories: str | None = None) -> ExperimentResult:
             "latency_ns",
         ],
     )
-    overhead = BENCH_HIERARCHY.total_hit_path_ns
-    for label, timing, channels in _select_subfigures(memories):
-        actual = measured_family(
-            f"actual-{label}",
-            lambda t=timing, c=channels: CycleAccurateModel(
-                t, channels=c, write_queue_depth=48
-            ),
-            scale,
-            theoretical_bandwidth_gbps=timing.channel_peak_gbps * channels,
+    for label, preset_name, channels in _select_subfigures(memories):
+        actual_scenario = substrate(
+            f"actual-{label}", preset_name, channels=channels, scale=scale
         )
-        mess_bench = MessBenchmark(
-            system_config=bench_system_config(),
-            memory_factory=lambda fam=actual: MessMemorySimulator(
-                fam, cpu_overhead_ns=overhead
-            ),
-            config=bench_sweep(scale),
+        actual = measured_family(actual_scenario)
+        # the measured family goes straight back in as the curve source
+        # of a Mess-simulator scenario — curves are inlined, so the
+        # scenario (and its cache identity) is self-contained
+        mess_scenario = characterization(
             name=f"mess-{label}",
+            memory_kind="mess",
+            memory_params={
+                "curves": actual,
+                "cpu_overhead_ns": actual_scenario.system.hierarchy.total_hit_path_ns,
+            },
+            scale=scale,
             theoretical_bandwidth_gbps=actual.theoretical_bandwidth_gbps,
         )
-        simulated = mess_bench.run()
+        simulated = measured_family(mess_scenario)
         for system, family in (("actual", actual), ("zsim+mess", simulated)):
             for curve in family:
                 for bandwidth, latency in zip(

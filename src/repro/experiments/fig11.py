@@ -12,18 +12,12 @@ simulators.
 from __future__ import annotations
 
 from ..analysis.error import run_accuracy_campaign
-from ..core.simulator import MessMemorySimulator
-from ..dram.timing import DDR4_2666
-from ..memmodels.fixed import FixedLatencyModel
-from ..memmodels.flawed import DRAMsim3Analog, RamulatorAnalog
-from ..memmodels.internal_ddr import InternalDdrModel
-from ..memmodels.md1 import MD1QueueModel
-from ..memmodels.cycle_accurate import CycleAccurateModel
+from ..scenario import memory_factory
 from ..workloads.lmbench import LmbenchLatency
 from ..workloads.multichase import Multichase
 from ..workloads.stream import StreamWorkload
 from .base import ExperimentResult, scaled
-from .common import BENCH_HIERARCHY, bench_system_config, measured_family
+from .common import bench_system, measured_family, preset_scenario
 from .registry import register
 
 EXPERIMENT_ID = "fig11"
@@ -31,41 +25,52 @@ EXPERIMENT_ID = "fig11"
 _THEORETICAL = 128.0
 _CORES = 12
 
+#: Memory spec of the reference "actual hardware" controller.
+_SUBSTRATE_MEMORY = {
+    "timing": "DDR4-2666",
+    "channels": 6,
+    "write_queue_depth": 48,
+}
+
 
 @register("fig11", title="ZSim memory-model accuracy and speed vs the actual platform", tags=("mess-simulator", "accuracy"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
-    overhead = BENCH_HIERARCHY.total_hit_path_ns
-    mess_family = measured_family(
-        "skylake-substrate",
-        lambda: CycleAccurateModel(DDR4_2666, channels=6, write_queue_depth=48),
-        scale,
-        theoretical_bandwidth_gbps=_THEORETICAL,
-    )
+    substrate_scenario = preset_scenario("skylake-substrate", scale)
+    overhead = substrate_scenario.system.hierarchy.total_hit_path_ns
+    mess_family = measured_family(substrate_scenario)
     # the fixed-latency model is tuned to the unloaded memory-side
     # latency, as the paper notes a user would do
-    fixed_latency = max(
-        2.0, mess_family.unloaded_latency_ns - overhead
-    )
-    model_factories = {
-        "fixed-latency": lambda: FixedLatencyModel(latency_ns=fixed_latency),
-        "md1": lambda: MD1QueueModel(
-            unloaded_latency_ns=fixed_latency, peak_bandwidth_gbps=_THEORETICAL
+    fixed_latency = max(2.0, mess_family.unloaded_latency_ns - overhead)
+    model_specs = {
+        "fixed-latency": ("fixed-latency", {"latency_ns": fixed_latency}),
+        "md1": (
+            "md1",
+            {
+                "unloaded_latency_ns": fixed_latency,
+                "peak_bandwidth_gbps": _THEORETICAL,
+            },
         ),
-        "internal-ddr": lambda: InternalDdrModel(
-            unloaded_latency_ns=fixed_latency,
-            peak_bandwidth_gbps=_THEORETICAL,
-            channels=6,
+        "internal-ddr": (
+            "internal-ddr",
+            {
+                "unloaded_latency_ns": fixed_latency,
+                "peak_bandwidth_gbps": _THEORETICAL,
+                "channels": 6,
+            },
         ),
-        "dramsim3": lambda: DRAMsim3Analog(theoretical_gbps=_THEORETICAL),
-        "ramulator": lambda: RamulatorAnalog(theoretical_gbps=_THEORETICAL),
-        "mess": lambda: MessMemorySimulator(
-            mess_family, cpu_overhead_ns=overhead
+        "dramsim3": ("dramsim3-analog", {"theoretical_gbps": _THEORETICAL}),
+        "ramulator": ("ramulator-analog", {"theoretical_gbps": _THEORETICAL}),
+        "mess": (
+            "mess",
+            {"curves": mess_family, "cpu_overhead_ns": overhead},
         ),
         # the detailed controller itself, as the cycle-accurate speed
         # anchor (its error is ~0 by construction — it IS the reference)
-        "cycle-accurate(dram)": lambda: CycleAccurateModel(
-            DDR4_2666, channels=6, write_queue_depth=48
-        ),
+        "cycle-accurate(dram)": ("cycle-accurate", _SUBSTRATE_MEMORY),
+    }
+    model_factories = {
+        name: memory_factory(kind, params)
+        for name, (kind, params) in model_specs.items()
     }
     lines = scaled(5000, scale)
     chase = scaled(2200, scale)
@@ -75,10 +80,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
         lambda: Multichase(chase_ops=chase, parallel_chases=2),
     ]
     actual_scores, reports = run_accuracy_campaign(
-        system_config=bench_system_config(cores=_CORES),
-        actual_factory=lambda: CycleAccurateModel(
-            DDR4_2666, channels=6, write_queue_depth=48
-        ),
+        system_config=bench_system(cores=_CORES),
+        actual_factory=memory_factory("cycle-accurate", _SUBSTRATE_MEMORY),
         model_factories=model_factories,
         workload_factories=workloads,
     )

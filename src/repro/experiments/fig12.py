@@ -12,11 +12,9 @@ scaled back up and compared against the original.
 from __future__ import annotations
 
 from ..analysis.compare import compare_families
-from ..bench.harness import MessBenchmark
-from ..core.simulator import MessMemorySimulator
 from ..platforms.presets import AMAZON_GRAVITON3, FUJITSU_A64FX, family
 from .base import ExperimentResult
-from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config
+from .common import BENCH_HIERARCHY, characterization, measured_family
 from .registry import register
 
 EXPERIMENT_ID = "fig12"
@@ -47,16 +45,15 @@ def run(scale: float = 1.0) -> ExperimentResult:
         one_channel = reference.scaled_bandwidth(
             1.0 / channels, name=f"{spec.name} (1 channel)"
         )
-        bench = MessBenchmark(
-            system_config=bench_system_config(cores=16),
-            memory_factory=lambda fam=one_channel: MessMemorySimulator(
-                fam, cpu_overhead_ns=overhead
-            ),
-            config=bench_sweep(scale),
+        scenario = characterization(
             name=f"gem5+mess-{label}",
+            memory_kind="mess",
+            memory_params={"curves": one_channel, "cpu_overhead_ns": overhead},
+            scale=scale,
+            cores=16,
             theoretical_bandwidth_gbps=one_channel.theoretical_bandwidth_gbps,
         )
-        simulated_scaled = bench.run().scaled_bandwidth(
+        simulated_scaled = measured_family(scenario).scaled_bandwidth(
             channels, name=f"gem5+mess {label} (scaled x{channels})"
         )
         for system, fam in (

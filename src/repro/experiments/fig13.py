@@ -9,53 +9,60 @@ average errors of 30%, 15%, 52% and 3% respectively.
 from __future__ import annotations
 
 from ..analysis.error import run_accuracy_campaign
-from ..core.simulator import MessMemorySimulator
-from ..dram.timing import DDR5_4800
-from ..memmodels.cycle_accurate import CycleAccurateModel
-from ..memmodels.flawed import Ramulator2Analog
-from ..memmodels.internal_ddr import InternalDdrModel
-from ..memmodels.simple_bw import SimpleBandwidthModel
+from ..scenario import memory_factory
 from ..workloads.lmbench import LmbenchLatency
 from ..workloads.multichase import Multichase
 from ..workloads.stream import StreamWorkload
 from .base import ExperimentResult, scaled
-from .common import BENCH_HIERARCHY, bench_system_config, measured_family
+from .common import bench_system, measured_family, preset_scenario
 from .registry import register
 
 EXPERIMENT_ID = "fig13"
 
 _CHANNELS = 2  # scaled-down DDR5 system saturable by 12 simulated cores
-_THEORETICAL = DDR5_4800.channel_peak_gbps * _CHANNELS
 _CORES = 12
+
+#: Memory spec of the 2-channel DDR5 "actual hardware" controller.
+_SUBSTRATE_MEMORY = {
+    "timing": "DDR5-4800",
+    "channels": _CHANNELS,
+    "write_queue_depth": 48,
+}
 
 
 @register("fig13", title="gem5 memory-model accuracy on the DDR5 substrate", tags=("mess-simulator", "gem5"), cost="expensive")
 def run(scale: float = 1.0) -> ExperimentResult:
-    overhead = BENCH_HIERARCHY.total_hit_path_ns
-    mess_family = measured_family(
-        "graviton-substrate-2ch",
-        lambda: CycleAccurateModel(
-            DDR5_4800, channels=_CHANNELS, write_queue_depth=48
-        ),
-        scale,
-        theoretical_bandwidth_gbps=_THEORETICAL,
-    )
+    substrate_scenario = preset_scenario("graviton-substrate-2ch", scale)
+    overhead = substrate_scenario.system.hierarchy.total_hit_path_ns
+    mess_family = measured_family(substrate_scenario)
+    theoretical = mess_family.theoretical_bandwidth_gbps
     unloaded_memory_side = max(2.0, mess_family.unloaded_latency_ns - overhead)
+    model_specs = {
+        "gem5-simple": (
+            "gem5-simple",
+            {
+                "read_latency_ns": 30.0,
+                "write_latency_ns": 4.0,
+                "peak_bandwidth_gbps": theoretical,
+            },
+        ),
+        "gem5-internal-ddr5": (
+            "internal-ddr",
+            {
+                "unloaded_latency_ns": unloaded_memory_side,
+                "peak_bandwidth_gbps": theoretical,
+                "channels": _CHANNELS,
+            },
+        ),
+        "ramulator2": (
+            "ramulator2-analog",
+            {"theoretical_gbps": theoretical},
+        ),
+        "mess": ("mess", {"curves": mess_family, "cpu_overhead_ns": overhead}),
+    }
     model_factories = {
-        "gem5-simple": lambda: SimpleBandwidthModel(
-            read_latency_ns=30.0,
-            write_latency_ns=4.0,
-            peak_bandwidth_gbps=_THEORETICAL,
-        ),
-        "gem5-internal-ddr5": lambda: InternalDdrModel(
-            unloaded_latency_ns=unloaded_memory_side,
-            peak_bandwidth_gbps=_THEORETICAL,
-            channels=_CHANNELS,
-        ),
-        "ramulator2": lambda: Ramulator2Analog(theoretical_gbps=_THEORETICAL),
-        "mess": lambda: MessMemorySimulator(
-            mess_family, cpu_overhead_ns=overhead
-        ),
+        name: memory_factory(kind, params)
+        for name, (kind, params) in model_specs.items()
     }
     lines = scaled(5000, scale)
     chase = scaled(2200, scale)
@@ -65,10 +72,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
         lambda: Multichase(chase_ops=chase, parallel_chases=2),
     ]
     _, reports = run_accuracy_campaign(
-        system_config=bench_system_config(cores=_CORES),
-        actual_factory=lambda: CycleAccurateModel(
-            DDR5_4800, channels=_CHANNELS, write_queue_depth=48
-        ),
+        system_config=bench_system(cores=_CORES),
+        actual_factory=memory_factory("cycle-accurate", _SUBSTRATE_MEMORY),
         model_factories=model_factories,
         workload_factories=workloads,
     )

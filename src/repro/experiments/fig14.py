@@ -14,12 +14,15 @@ configuration alone.
 
 from __future__ import annotations
 
-from ..bench.harness import MessBenchmark
 from ..bench.model_probe import ProbeConfig, characterize_model
-from ..core.simulator import MessMemorySimulator
 from ..memmodels.cxl import CxlExpanderModel
 from .base import ExperimentResult, scaled
-from .common import BENCH_HIERARCHY, bench_sweep, bench_system_config
+from .common import (
+    BENCH_HIERARCHY,
+    bench_system,
+    characterization,
+    measured_family,
+)
 from .registry import register
 
 EXPERIMENT_ID = "fig14"
@@ -73,17 +76,16 @@ def run(scale: float = 1.0) -> ExperimentResult:
             )
     overhead = BENCH_HIERARCHY.total_hit_path_ns
     for label, cores, in_order in SYSTEMS:
-        bench = MessBenchmark(
-            system_config=bench_system_config(cores=cores, in_order=in_order),
-            # the CXL curves exclude CPU time, so no overhead subtraction
-            memory_factory=lambda: MessMemorySimulator(
-                manufacturer, cpu_overhead_ns=0.0
-            ),
-            config=bench_sweep(scale),
+        scenario = characterization(
             name=label,
+            memory_kind="mess",
+            # the CXL curves exclude CPU time, so no overhead subtraction
+            memory_params={"curves": manufacturer, "cpu_overhead_ns": 0.0},
+            scale=scale,
+            system=bench_system(cores=cores, in_order=in_order),
             theoretical_bandwidth_gbps=54.0,
         )
-        simulated = bench.run()
+        simulated = measured_family(scenario)
         for curve in simulated:
             for bandwidth, latency in zip(
                 curve.bandwidth_gbps, curve.latency_ns

@@ -14,10 +14,8 @@ from __future__ import annotations
 
 from ..analysis.compare import compare_families
 from ..bench.model_probe import ProbeConfig, characterize_model
-from ..memmodels.flawed import Ramulator2Analog
-from ..memmodels.internal_ddr import InternalDdrModel
-from ..memmodels.simple_bw import SimpleBandwidthModel
 from ..platforms.presets import AMAZON_GRAVITON3, family
+from ..scenario import memory_factory
 from .base import ExperimentResult, scaled
 from .registry import register
 
@@ -25,6 +23,34 @@ EXPERIMENT_ID = "fig4"
 
 #: Graviton 3 theoretical bandwidth (8x DDR5-4800).
 _THEORETICAL = 307.0
+
+#: The three gem5-side models of Figure 4 (b)-(d), as memory specs.
+MODEL_SPECS = {
+    "gem5-simple": (
+        "gem5-simple",
+        {
+            "read_latency_ns": 30.0,
+            "write_latency_ns": 4.0,
+            "peak_bandwidth_gbps": _THEORETICAL,
+        },
+    ),
+    "gem5-internal-ddr": (
+        "internal-ddr",
+        {
+            "unloaded_latency_ns": 40.0,
+            "peak_bandwidth_gbps": _THEORETICAL,
+            "channels": 8,
+        },
+    ),
+    "ramulator2": (
+        "ramulator2-analog",
+        {
+            "base_latency_ns": 18.0,
+            "theoretical_gbps": _THEORETICAL,
+            "wall_fraction": 0.42,
+        },
+    ),
+}
 
 
 def _probe_config(scale: float) -> ProbeConfig:
@@ -43,21 +69,8 @@ def _probe_config(scale: float) -> ProbeConfig:
 def model_factories() -> dict:
     """The three gem5-side models of Figure 4 (b)-(d)."""
     return {
-        "gem5-simple": lambda: SimpleBandwidthModel(
-            read_latency_ns=30.0,
-            write_latency_ns=4.0,
-            peak_bandwidth_gbps=_THEORETICAL,
-        ),
-        "gem5-internal-ddr": lambda: InternalDdrModel(
-            unloaded_latency_ns=40.0,
-            peak_bandwidth_gbps=_THEORETICAL,
-            channels=8,
-        ),
-        "ramulator2": lambda: Ramulator2Analog(
-            base_latency_ns=18.0,
-            theoretical_gbps=_THEORETICAL,
-            wall_fraction=0.42,
-        ),
+        name: memory_factory(kind, params)
+        for name, (kind, params) in MODEL_SPECS.items()
     }
 
 

@@ -13,11 +13,8 @@ from __future__ import annotations
 
 from ..analysis.compare import compare_families
 from ..bench.model_probe import ProbeConfig, characterize_model
-from ..memmodels.fixed import FixedLatencyModel
-from ..memmodels.flawed import DRAMsim3Analog, RamulatorAnalog
-from ..memmodels.internal_ddr import InternalDdrModel
-from ..memmodels.md1 import MD1QueueModel
 from ..platforms.presets import INTEL_SKYLAKE, family
+from ..scenario import memory_factory
 from .base import ExperimentResult, scaled
 from .registry import register
 
@@ -25,21 +22,31 @@ EXPERIMENT_ID = "fig5"
 
 _THEORETICAL = 128.0
 
+#: The five ZSim-side memory models of Figure 5 (b)-(f), as specs.
+MODEL_SPECS = {
+    "fixed-latency": ("fixed-latency", {"latency_ns": 89.0}),
+    "md1": (
+        "md1",
+        {"unloaded_latency_ns": 89.0, "peak_bandwidth_gbps": _THEORETICAL},
+    ),
+    "internal-ddr": (
+        "internal-ddr",
+        {
+            "unloaded_latency_ns": 89.0,
+            "peak_bandwidth_gbps": _THEORETICAL,
+            "channels": 6,
+        },
+    ),
+    "dramsim3": ("dramsim3-analog", {"theoretical_gbps": _THEORETICAL}),
+    "ramulator": ("ramulator-analog", {"theoretical_gbps": _THEORETICAL}),
+}
+
 
 def model_factories() -> dict:
     """The five ZSim-side memory models of Figure 5 (b)-(f)."""
     return {
-        "fixed-latency": lambda: FixedLatencyModel(latency_ns=89.0),
-        "md1": lambda: MD1QueueModel(
-            unloaded_latency_ns=89.0, peak_bandwidth_gbps=_THEORETICAL
-        ),
-        "internal-ddr": lambda: InternalDdrModel(
-            unloaded_latency_ns=89.0,
-            peak_bandwidth_gbps=_THEORETICAL,
-            channels=6,
-        ),
-        "dramsim3": lambda: DRAMsim3Analog(theoretical_gbps=_THEORETICAL),
-        "ramulator": lambda: RamulatorAnalog(theoretical_gbps=_THEORETICAL),
+        name: memory_factory(kind, params)
+        for name, (kind, params) in MODEL_SPECS.items()
     }
 
 

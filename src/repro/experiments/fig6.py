@@ -10,9 +10,7 @@ errors (ZSim-side) from the simulators' own modeling errors.
 
 from __future__ import annotations
 
-from ..memmodels.cycle_accurate import CycleAccurateModel
-from ..memmodels.flawed import DRAMsim3Analog, Ramulator2Analog, RamulatorAnalog
-from ..dram.timing import DDR4_2666
+from ..scenario import memory_factory
 from ..traces.driver import replay_trace, synthesize_mess_trace
 from .base import ExperimentResult, scaled
 from .registry import register
@@ -21,15 +19,22 @@ EXPERIMENT_ID = "fig6"
 
 _THEORETICAL = 128.0
 
+#: Declarative model zoo: label -> (memory kind, params).
+MODEL_SPECS = {
+    "actual(dram)": (
+        "cycle-accurate",
+        {"timing": "DDR4-2666", "channels": 6, "write_queue_depth": 48},
+    ),
+    "ramulator2": ("ramulator2-analog", {"theoretical_gbps": _THEORETICAL}),
+    "dramsim3": ("dramsim3-analog", {"theoretical_gbps": _THEORETICAL}),
+    "ramulator": ("ramulator-analog", {"theoretical_gbps": _THEORETICAL}),
+}
+
 
 def model_factories() -> dict:
     return {
-        "actual(dram)": lambda: CycleAccurateModel(
-            DDR4_2666, channels=6, write_queue_depth=48
-        ),
-        "ramulator2": lambda: Ramulator2Analog(theoretical_gbps=_THEORETICAL),
-        "dramsim3": lambda: DRAMsim3Analog(theoretical_gbps=_THEORETICAL),
-        "ramulator": lambda: RamulatorAnalog(theoretical_gbps=_THEORETICAL),
+        name: memory_factory(kind, params)
+        for name, (kind, params) in MODEL_SPECS.items()
     }
 
 

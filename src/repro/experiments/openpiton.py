@@ -16,11 +16,10 @@ prefetcher-less system (the Ariane configuration):
 
 from __future__ import annotations
 
-from ..bench.harness import MessBenchmark, MessBenchmarkConfig
+from ..bench.harness import MessBenchmarkConfig
 from ..bench.traffic_gen import read_ratio_for_store_fraction
-from ..memmodels.fixed import FixedLatencyModel
 from .base import ExperimentResult, scaled
-from .common import bench_system_config
+from .common import bench_system, characterization
 from .registry import register
 
 EXPERIMENT_ID = "openpiton"
@@ -30,13 +29,16 @@ _FIXED_LATENCY_NS = 60.0
 
 
 def _sweep(scale: float) -> MessBenchmarkConfig:
-    return MessBenchmarkConfig(
-        store_fractions=(0.0, 0.5, 1.0),
-        nop_counts=(0,),
-        warmup_ns=scaled(4000, min(scale, 2.0)),
-        measure_ns=scaled(10000, min(scale, 2.0)),
-        chase_array_bytes=16 * 1024 * 1024,
-        traffic_array_bytes=8 * 1024 * 1024,
+    # saturation study, not a curve family: one pressure level per mix
+    return MessBenchmarkConfig.from_spec(
+        {
+            "store_fractions": [0.0, 0.5, 1.0],
+            "nop_counts": [0],
+            "warmup_ns": scaled(4000, min(scale, 2.0)),
+            "measure_ns": scaled(10000, min(scale, 2.0)),
+            "chase_array_bytes": 16 * 1024 * 1024,
+            "traffic_array_bytes": 8 * 1024 * 1024,
+        }
     )
 
 
@@ -54,23 +56,19 @@ def run(scale: float = 1.0) -> ExperimentResult:
         ],
     )
     for label, faulty in (("correct", False), ("coherency-bug", True)):
-        config = bench_system_config(cores=32, in_order=True)
-        config = type(config)(
-            cores=config.cores,
-            hierarchy=config.hierarchy,
-            issue_gap_ns=1.0,  # narrow in-order issue
-            mshrs=config.mshrs,
-            in_order=True,
-            writeback_clean_lines=faulty,
-        )
-        bench = MessBenchmark(
-            system_config=config,
-            memory_factory=lambda: FixedLatencyModel(
-                latency_ns=_FIXED_LATENCY_NS
-            ),
-            config=_sweep(scale),
+        scenario = characterization(
             name=f"openpiton-{label}",
+            memory_kind="fixed-latency",
+            memory_params={"latency_ns": _FIXED_LATENCY_NS},
+            system=bench_system(
+                cores=32,
+                in_order=True,
+                issue_gap_ns=1.0,  # narrow in-order issue
+                writeback_clean_lines=faulty,
+            ),
+            sweep=_sweep(scale),
         )
+        bench = scenario.materialize().benchmark()
         bench.run()
         for point in bench.points:
             result.add(

@@ -19,6 +19,7 @@ from __future__ import annotations
 import importlib
 import inspect
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Callable, Mapping
 
 from ..errors import ConfigurationError
@@ -63,7 +64,11 @@ class ExperimentSpec:
     cost: str = "moderate"
     #: Declared keyword options (name -> default), introspected from the
     #: run function's signature; ``scale`` is implicit and excluded.
-    params: dict[str, object] = field(default_factory=dict)
+    #: A read-only view: specs are shared registry state, and a caller
+    #: mutating one would corrupt option validation for everyone.
+    params: Mapping[str, object] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
     order: int = 10_000
 
     @property
@@ -132,7 +137,7 @@ def register(
             title=title,
             tags=tuple(tags),
             cost=cost,
-            params=_declared_params(func),
+            params=MappingProxyType(_declared_params(func)),
             order=order,
         )
         SPECS[experiment_id] = spec

@@ -5,10 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..specs import SpecConvertible
 
 
 @dataclass(frozen=True)
-class WaveformSpec:
+class WaveformSpec(SpecConvertible):
     """Description of the bandwidth-decline anomaly on one platform.
 
     ``read_ratio_threshold``: curves at or below this read ratio show
@@ -27,7 +28,7 @@ class WaveformSpec:
 
 
 @dataclass(frozen=True)
-class PlatformSpec:
+class PlatformSpec(SpecConvertible):
     """One row of Table I plus the shape parameters for curve synthesis.
 
     The headline metrics (unloaded latency, max-latency range, saturated

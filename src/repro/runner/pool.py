@@ -106,10 +106,13 @@ def _execute_one(
         key = None
         payload = None
         if cache is not None:
-            key = cache.key_for(
-                "result",
-                {"experiment_id": experiment_id, "scale": scale, "options": options},
-            )
+            # the scenario digest IS the cache identity: the same key a
+            # scenario file for this run would produce (see repro.scenario)
+            from ..scenario.core import Scenario
+
+            key = Scenario.for_experiment(
+                experiment_id, scale=scale, options=options
+            ).digest()
             payload = cache.get(key)
             if payload is not None:
                 try:
@@ -137,6 +140,79 @@ def _execute_one(
 
         return {
             "experiment_id": experiment_id,
+            "payload": payload,
+            "duration_s": time.perf_counter() - start,
+            "cache_hits": (cache.hits - hits_before) if cache else 0,
+            "cache_misses": (cache.misses - misses_before) if cache else 0,
+            "telemetry_summary": registry.summary() if registry else None,
+            "telemetry_data": registry.to_dict() if registry else None,
+        }
+    finally:
+        if collect_telemetry:
+            if previous is not None:
+                telemetry_mod.activate(previous)
+            else:
+                telemetry_mod.deactivate()
+
+
+def _execute_scenario(
+    spec_payload: dict,
+    cache_dir: str | None,
+    use_cache: bool,
+    collect_telemetry: bool = False,
+) -> dict:
+    """Run one scenario file (in a worker or inline).
+
+    Mirrors :func:`_execute_one` exactly — digest-keyed result cache,
+    JSON round-trip normalization, telemetry registry — but the unit of
+    work is a :class:`~repro.scenario.core.Scenario` spec rather than a
+    registered experiment id. Module-level so it pickles; the spec
+    payload is plain JSON-typed data.
+    """
+    from ..scenario.core import Scenario
+
+    scenario = Scenario.from_spec(spec_payload)
+    label = f"scenario:{scenario.name}"
+    registry = None
+    previous = telemetry_mod.active()
+    if collect_telemetry:
+        registry = telemetry_mod.activate(TelemetryRegistry())
+    try:
+        cache = _ensure_cache(cache_dir, use_cache)
+        hits_before = cache.hits if cache else 0
+        misses_before = cache.misses if cache else 0
+        start = time.perf_counter()
+
+        key = scenario.digest()
+        payload = None
+        if cache is not None:
+            payload = cache.get(key)
+            if payload is not None:
+                from ..experiments.base import ExperimentResult
+
+                try:
+                    ExperimentResult.from_dict(payload)
+                except MessError:
+                    cache.discard(key)
+                    payload = None
+        if payload is None:
+            if registry is not None:
+                with registry.span(
+                    "runner.scenario", category="runner", id=scenario.name
+                ):
+                    result = scenario.run()
+            else:
+                result = scenario.run()
+            payload = json.loads(json.dumps(result.to_dict()))
+            if cache is not None:
+                cache.put(key, payload, kind="scenario-result")
+        elif registry is not None:
+            registry.event(
+                "runner.result_cache_hit", category="runner", id=label
+            )
+
+        return {
+            "experiment_id": label,
             "payload": payload,
             "duration_s": time.perf_counter() - start,
             "cache_hits": (cache.hits - hits_before) if cache else 0,
@@ -195,6 +271,7 @@ def run_many(
     jobs: int = 1,
     scale: float = 1.0,
     options: Mapping[str, Mapping[str, object]] | None = None,
+    scenarios: Iterable[object] | None = None,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     progress: ProgressCallback | None = None,
@@ -213,6 +290,12 @@ def run_many(
         Per-experiment keyword options, keyed by experiment id.
         Validated against each experiment's declared parameters before
         anything is submitted.
+    scenarios:
+        :class:`~repro.scenario.core.Scenario` instances (or their spec
+        dicts) to run alongside — or instead of — registered
+        experiments. Each is validated up front; results and records
+        are keyed ``scenario:<name>``. When ``scenarios`` is given and
+        ``experiment_ids`` is None, only the scenarios run.
     cache_dir / use_cache:
         Cache location override and master switch. Disabling the cache
         also disables the harness-level characterization cache.
@@ -231,9 +314,32 @@ def run_many(
     """
     from ..experiments.registry import experiment_ids as registered_ids
     from ..experiments.registry import validate_options
+    from ..scenario.core import Scenario
 
-    ids = list(experiment_ids) if experiment_ids is not None else registered_ids()
-    if not ids:
+    scenario_list: list[Scenario] = []
+    for entry in scenarios or ():
+        scenario = (
+            entry
+            if isinstance(entry, Scenario)
+            else Scenario.from_spec(entry)  # type: ignore[arg-type]
+        )
+        problems = scenario.validate()
+        if problems:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r}: " + "; ".join(problems)
+            )
+        scenario_list.append(scenario)
+    labels = [f"scenario:{scenario.name}" for scenario in scenario_list]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(
+            f"duplicate scenario names in selection: {labels}"
+        )
+
+    if experiment_ids is None and scenario_list:
+        ids = []
+    else:
+        ids = list(experiment_ids) if experiment_ids is not None else registered_ids()
+    if not ids and not scenario_list:
         raise ConfigurationError("no experiments selected")
     if len(set(ids)) != len(ids):
         raise ConfigurationError(f"duplicate experiment ids in selection: {ids}")
@@ -276,54 +382,64 @@ def run_many(
         if outcome.telemetry is not None and data is not None:
             outcome.telemetry.merge_dict(data)
 
-    if jobs == 1 or len(ids) == 1:
-        for experiment_id in ids:
-            opts = per_experiment.get(experiment_id, {})
+    # a work unit is (label, callable, args, options-for-the-record);
+    # experiments and scenarios flow through the same loop from here on
+    units: list[tuple[str, Callable[..., dict], tuple, dict]] = [
+        (
+            experiment_id,
+            _execute_one,
+            (
+                experiment_id,
+                scale,
+                per_experiment.get(experiment_id, {}),
+                cache_dir_str,
+                use_cache,
+                collect_telemetry,
+            ),
+            per_experiment.get(experiment_id, {}),
+        )
+        for experiment_id in ids
+    ] + [
+        (
+            label,
+            _execute_scenario,
+            (scenario.to_spec(), cache_dir_str, use_cache, collect_telemetry),
+            {},
+        )
+        for label, scenario in zip(labels, scenario_list)
+    ]
+
+    if jobs == 1 or len(units) == 1:
+        for label, func, args, opts in units:
             step_start = time.perf_counter()
             try:
-                raw = _execute_one(
-                    experiment_id,
-                    scale,
-                    opts,
-                    cache_dir_str,
-                    use_cache,
-                    collect_telemetry,
-                )
+                raw = func(*args)
                 absorb(raw)
                 record, result = _record_from(raw, scale, opts)
-                outcome.results[experiment_id] = result
+                outcome.results[label] = result
             except MessError as exc:
                 record = _error_record(
-                    experiment_id, exc, time.perf_counter() - step_start, scale, opts
+                    label, exc, time.perf_counter() - step_start, scale, opts
                 )
-            finish(experiment_id, record)
+            finish(label, record)
     else:
-        workers = min(jobs, len(ids))
+        workers = min(jobs, len(units))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(
-                    _execute_one,
-                    experiment_id,
-                    scale,
-                    per_experiment.get(experiment_id, {}),
-                    cache_dir_str,
-                    use_cache,
-                    collect_telemetry,
-                ): experiment_id
-                for experiment_id in ids
+                pool.submit(func, *args): (label, opts)
+                for label, func, args, opts in units
             }
             for future in as_completed(futures):
-                experiment_id = futures[future]
-                opts = per_experiment.get(experiment_id, {})
+                label, opts = futures[future]
                 try:
                     raw = future.result()
                     absorb(raw)
                     record, result = _record_from(raw, scale, opts)
-                    outcome.results[experiment_id] = result
+                    outcome.results[label] = result
                 except Exception as exc:  # worker died or experiment failed
-                    record = _error_record(experiment_id, exc, 0.0, scale, opts)
-                finish(experiment_id, record)
+                    record = _error_record(label, exc, 0.0, scale, opts)
+                finish(label, record)
 
     manifest.wall_time_s = time.perf_counter() - start
-    manifest.records = [records[experiment_id] for experiment_id in ids]
+    manifest.records = [records[label] for label, _, _, _ in units]
     return outcome

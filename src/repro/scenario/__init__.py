@@ -1,0 +1,64 @@
+"""The scenario layer: one declarative config spine from platform to workload.
+
+A :class:`Scenario` is the single typed, validated, canonically-
+serializable description of a run — CPU substrate, memory model,
+characterization sweep, workload — whose :meth:`Scenario.digest` is the
+cache identity throughout the stack. Experiments build their machines
+through scenario presets; the CLI loads user scenarios from JSON files;
+the runner keys its result cache on scenario digests.
+
+Submodules:
+
+- :mod:`~repro.scenario.core` — the Scenario type, materialization,
+  file loading;
+- :mod:`~repro.scenario.memory` — declarative memory-model specs;
+- :mod:`~repro.scenario.presets` — the named benchmark machines;
+- :mod:`~repro.scenario.options` — the shared typed ``key=value``
+  parser for CLI options and scenario overrides.
+"""
+
+from .core import (
+    FORMAT_KEY,
+    FORMAT_VERSION,
+    MaterializedScenario,
+    Scenario,
+    load_scenario,
+)
+from .memory import (
+    build_memory,
+    memory_factory,
+    memory_kinds,
+    validate_memory_spec,
+)
+from .options import apply_overrides, coerce_value, parse_assignments
+from .presets import (
+    BENCH_HIERARCHY,
+    bench_sweep,
+    bench_system,
+    characterization,
+    preset_scenario,
+    scenario_ids,
+    substrate,
+)
+
+__all__ = [
+    "FORMAT_KEY",
+    "FORMAT_VERSION",
+    "MaterializedScenario",
+    "Scenario",
+    "load_scenario",
+    "build_memory",
+    "memory_factory",
+    "memory_kinds",
+    "validate_memory_spec",
+    "apply_overrides",
+    "coerce_value",
+    "parse_assignments",
+    "BENCH_HIERARCHY",
+    "bench_sweep",
+    "bench_system",
+    "characterization",
+    "preset_scenario",
+    "scenario_ids",
+    "substrate",
+]

@@ -1,0 +1,114 @@
+"""One typed value parser for ``--opt k=v`` pairs and scenario overrides.
+
+The CLI's experiment options and the scenario file overrides are the
+same surface: untyped ``key=value`` strings that must become typed JSON
+values before they reach a config constructor or a digest. Both entry
+points funnel through :func:`coerce_value`, so the two cannot drift —
+``--opt memories=ddr4`` on an experiment and
+``--opt options.memories=ddr4`` on a scenario parse identically.
+
+Coercion rules, first match wins:
+
+- ``true`` / ``false`` (any case) -> bool
+- ``none`` / ``null`` (any case)  -> None
+- integer literal                  -> int
+- float literal                    -> float
+- quoted string                    -> its contents (forces string-ness:
+  ``--opt label='"42"'`` keeps the string ``"42"``)
+- bracketed literal (``[...]``, ``(...)``, ``{...}``) -> parsed
+  container with each element already JSON-typed
+- anything else                    -> the raw string
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from ..errors import ConfigurationError
+
+_BOOL_TOKENS = {"true": True, "false": False}
+_NONE_TOKENS = {"none", "null"}
+
+
+def coerce_value(raw: str) -> object:
+    """Parse one option value string into a typed JSON value."""
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in _BOOL_TOKENS:
+        return _BOOL_TOKENS[lowered]
+    if lowered in _NONE_TOKENS:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    if text[:1] in ("[", "(", "{"):
+        try:
+            return ast.literal_eval(text)
+        except (ValueError, SyntaxError):
+            pass
+    return raw
+
+
+def parse_assignments(pairs: list[str] | tuple[str, ...]) -> dict[str, object]:
+    """``["k=v", ...]`` -> ``{"k": typed_value, ...}``.
+
+    Keys may be dotted paths (``system.cores=8``); splitting the path
+    is the consumer's concern (:func:`apply_overrides`), not the
+    parser's — experiment options use flat keys with the same syntax.
+    """
+    assignments: dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ConfigurationError(
+                f"expected key=value, got {pair!r}"
+            )
+        assignments[key] = coerce_value(raw)
+    return assignments
+
+
+def apply_overrides(
+    payload: Mapping, assignments: Mapping[str, object]
+) -> dict:
+    """Apply dotted-path overrides to a nested spec dict, returning a copy.
+
+    ``{"system.cores": 8}`` replaces ``payload["system"]["cores"]``.
+    Intermediate objects must already exist and be objects — overrides
+    adjust a scenario, they do not invent structure (that is what the
+    scenario file itself is for). New *leaf* keys are allowed so e.g.
+    ``options.memories=ddr4`` can set an option the file omitted.
+    """
+
+    def deep_copy(value: object) -> object:
+        if isinstance(value, Mapping):
+            return {key: deep_copy(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [deep_copy(item) for item in value]
+        return value
+
+    result = deep_copy(payload)
+    if not isinstance(result, dict):
+        raise ConfigurationError("overrides need an object payload")
+    for path, value in assignments.items():
+        parts = path.split(".")
+        target = result
+        for index, part in enumerate(parts[:-1]):
+            branch = target.get(part)
+            if not isinstance(branch, dict):
+                where = ".".join(parts[: index + 1])
+                raise ConfigurationError(
+                    f"override {path!r}: {where!r} is not an object in the "
+                    "scenario"
+                )
+            target = branch
+        target[parts[-1]] = value
+    return result

@@ -1,0 +1,185 @@
+"""Named scenario presets: the benchmark machines the experiments share.
+
+The simulator-facing experiments (Figures 4-14, OpenPiton, Optane) all
+characterize memory models on the same class of machine: a multi-core
+out-of-order system with a small three-level hierarchy, running the
+Mess benchmark sweep sized by the experiment scale factor. This module
+declares those machines as :class:`~repro.scenario.core.Scenario`
+values — the only place benchmark system shapes are defined — and
+registers the handful of named substrates the paper's figures keep
+coming back to.
+
+``repro scenario list`` shows the registry; ``preset_scenario(name)``
+returns a fresh scenario for one entry; :func:`substrate` builds
+one-off cycle-accurate substrates for experiments that sweep parameters
+(channel counts, write-queue depths) beyond the named set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..bench.harness import MessBenchmarkConfig
+from ..cpu.cache import CacheConfig, HierarchyConfig
+from ..cpu.system import SystemConfig
+from ..errors import ConfigurationError
+from ..units import scaled
+from .core import Scenario
+
+#: Cache hierarchy used by the simulated benchmark systems. Smaller
+#: than the real Skylake LLC so working sets and warmups stay tractable
+#: in pure Python; the arrays used by every workload exceed it.
+BENCH_HIERARCHY = HierarchyConfig(
+    l1=CacheConfig(32 * 1024, 8, 1.5),
+    l2=CacheConfig(256 * 1024, 8, 5.0),
+    l3=CacheConfig(2 * 1024 * 1024, 16, 18.0),
+    noc_latency_ns=45.0,
+)
+
+
+def bench_system(
+    cores: int = 24,
+    mshrs: int = 12,
+    in_order: bool = False,
+    issue_gap_ns: float = 0.3,
+    writeback_clean_lines: bool = False,
+) -> SystemConfig:
+    """Standard benchmark machine: ``cores`` OoO cores, shared LLC."""
+    return SystemConfig(
+        cores=cores,
+        hierarchy=BENCH_HIERARCHY,
+        issue_gap_ns=issue_gap_ns,
+        mshrs=mshrs,
+        in_order=in_order,
+        writeback_clean_lines=writeback_clean_lines,
+    )
+
+
+def bench_sweep(scale: float) -> MessBenchmarkConfig:
+    """Mess-benchmark sweep sized by the experiment scale factor."""
+    ratios = (0.0, 0.5, 1.0) if scale < 1.5 else (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    nops = (
+        (0, 100, 320, 1000, 3000)
+        if scale < 1.5
+        else (0, 30, 100, 200, 320, 600, 1000, 1800, 3000, 6000)
+    )
+    return MessBenchmarkConfig(
+        store_fractions=ratios,
+        nop_counts=nops,
+        warmup_ns=scaled(5000, min(scale, 2.0)),
+        measure_ns=scaled(12000, min(scale, 2.0)),
+        chase_array_bytes=16 * 1024 * 1024,
+        traffic_array_bytes=8 * 1024 * 1024,
+    )
+
+
+def characterization(
+    name: str,
+    memory_kind: str,
+    memory_params: Mapping | None = None,
+    scale: float = 1.0,
+    cores: int = 24,
+    theoretical_bandwidth_gbps: float | None = None,
+    description: str = "",
+    system: SystemConfig | None = None,
+    sweep: MessBenchmarkConfig | None = None,
+) -> Scenario:
+    """A characterize scenario on the standard benchmark machine."""
+    return Scenario(
+        name=name,
+        workload={"kind": "characterize"},
+        system=system if system is not None else bench_system(cores=cores),
+        memory={"kind": memory_kind, "params": dict(memory_params or {})},
+        sweep=sweep if sweep is not None else bench_sweep(scale),
+        theoretical_bandwidth_gbps=theoretical_bandwidth_gbps,
+        description=description,
+    )
+
+
+def substrate(
+    name: str,
+    timing: object,
+    channels: int,
+    scale: float = 1.0,
+    cores: int = 24,
+    write_queue_depth: int = 48,
+    theoretical_bandwidth_gbps: float | None = None,
+    description: str = "",
+) -> Scenario:
+    """A cycle-accurate 'actual hardware' substrate scenario.
+
+    ``timing`` is anything :meth:`DramTiming.from_spec` accepts — a
+    preset name, a preset dict, a full timing dict or a DramTiming
+    instance's spec. The theoretical bandwidth defaults from the timing
+    and channel count.
+    """
+    from ..dram.timing import DramTiming
+
+    if isinstance(timing, DramTiming):
+        timing_spec: object = timing.to_spec()
+    else:
+        timing_spec = timing
+    return characterization(
+        name=name,
+        memory_kind="cycle-accurate",
+        memory_params={
+            "timing": timing_spec,
+            "channels": channels,
+            "write_queue_depth": write_queue_depth,
+        },
+        scale=scale,
+        cores=cores,
+        theoretical_bandwidth_gbps=theoretical_bandwidth_gbps,
+        description=description,
+    )
+
+
+#: Named substrate presets: name -> builder(scale) -> Scenario.
+_PRESETS: dict[str, Callable[[float], Scenario]] = {
+    "skylake-substrate": lambda scale: substrate(
+        "skylake-substrate",
+        "DDR4-2666",
+        channels=6,
+        scale=scale,
+        # the paper's round Skylake number, not the exact 6-channel sum
+        theoretical_bandwidth_gbps=128.0,
+        description="Reference 'actual hardware': 6-channel DDR4-2666",
+    ),
+    "graviton-substrate": lambda scale: substrate(
+        "graviton-substrate",
+        "DDR5-4800",
+        channels=8,
+        scale=scale,
+        description="Graviton 3-like hardware: 8-channel DDR5-4800",
+    ),
+    "graviton-substrate-2ch": lambda scale: substrate(
+        "graviton-substrate-2ch",
+        "DDR5-4800",
+        channels=2,
+        scale=scale,
+        description="Constrained DDR5 machine: 2-channel DDR5-4800",
+    ),
+    "hbm-substrate": lambda scale: substrate(
+        "hbm-substrate",
+        "HBM2",
+        channels=16,
+        scale=scale,
+        description="HBM2 hardware: 16 channels",
+    ),
+}
+
+
+def scenario_ids() -> list[str]:
+    """All registered preset scenario names, sorted."""
+    return sorted(_PRESETS)
+
+
+def preset_scenario(name: str, scale: float = 1.0) -> Scenario:
+    """Build one named preset scenario at the given scale."""
+    try:
+        builder = _PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r}; available: {scenario_ids()}"
+        ) from None
+    return builder(scale)

@@ -1,0 +1,279 @@
+"""Spec round-trips: config dataclasses <-> canonical JSON fragments.
+
+Every configuration dataclass in the stack (cache geometry, system
+shape, DRAM timing, sweep parameters, ...) exposes ``to_spec()`` /
+``from_spec()`` built on the helpers here, so one canonical, digestable
+encoding exists for any assembled configuration. The scenario layer
+(:mod:`repro.scenario`) composes these fragments into a complete run
+description whose :func:`spec_digest` is the cache key for the runner.
+
+Canonical form rules:
+
+- mappings are plain dicts (key order irrelevant: digests sort keys);
+- sequences are lists (tuples narrow back via the field annotation);
+- nested dataclasses are nested spec dicts;
+- unknown keys are configuration errors, not silently dropped —
+  a typo in a scenario file must fail loudly, not change the digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import types
+import typing
+from typing import Any, Mapping, TypeVar
+
+from .errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def canonical_json(payload: object) -> str:
+    """Canonical JSON encoding: sorted keys, compact, ``str`` fallback."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def spec_digest(payload: object) -> str:
+    """Hex sha256 of the canonical JSON encoding of ``payload``.
+
+    Key order never matters: two specs that compare equal as nested
+    structures digest identically regardless of construction order.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _encode(value: object) -> object:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_spec(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _encode(item) for key, item in value.items()}
+    return value
+
+
+def to_spec(config: object) -> dict:
+    """Encode one config dataclass instance as a canonical spec dict.
+
+    Values are coerced through the field annotations first, so an int
+    assigned to a float field encodes as a float — construction-time
+    sloppiness must not leak into the canonical form (or the digest).
+    """
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigurationError(
+            f"to_spec needs a dataclass instance, got {type(config).__name__}"
+        )
+    hints = _type_hints(type(config))
+    return {
+        field.name: _encode(
+            _coerce(
+                getattr(config, field.name),
+                hints.get(field.name, Any),
+                f"{type(config).__name__}.{field.name}",
+            )
+        )
+        for field in dataclasses.fields(config)
+    }
+
+
+def _type_hints(cls: type) -> dict[str, Any]:
+    # ``from __future__ import annotations`` stringifies every field
+    # annotation; resolve them against the defining module's namespace
+    return typing.get_type_hints(cls)
+
+
+def _strip_optional(hint: Any) -> tuple[Any, bool]:
+    """``X | None`` -> (X, True); anything else -> (hint, False)."""
+    origin = typing.get_origin(hint)
+    if origin is typing.Union or origin is types.UnionType:
+        members = [arg for arg in typing.get_args(hint) if arg is not type(None)]
+        if len(members) == 1 and len(typing.get_args(hint)) == 2:
+            return members[0], True
+    return hint, False
+
+
+def _coerce(value: object, hint: Any, where: str) -> object:
+    hint, optional = _strip_optional(hint)
+    if value is None:
+        if optional:
+            return None
+        raise ConfigurationError(f"{where}: must not be null")
+    origin = typing.get_origin(hint)
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise ConfigurationError(
+                f"{where}: expected a list, got {type(value).__name__}"
+            )
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(
+                _coerce(item, args[0], f"{where}[{i}]")
+                for i, item in enumerate(value)
+            )
+        if args and len(args) != len(value):
+            raise ConfigurationError(
+                f"{where}: expected {len(args)} items, got {len(value)}"
+            )
+        return tuple(
+            _coerce(item, args[i] if args else Any, f"{where}[{i}]")
+            for i, item in enumerate(value)
+        )
+    if origin in (dict, Mapping) or hint in (dict, Mapping):
+        if not isinstance(value, Mapping):
+            raise ConfigurationError(
+                f"{where}: expected an object, got {type(value).__name__}"
+            )
+        return dict(value)
+    if isinstance(hint, type) and dataclasses.is_dataclass(hint):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return value
+        if not isinstance(value, Mapping):
+            raise ConfigurationError(
+                f"{where}: expected an object, got {type(value).__name__}"
+            )
+        return from_spec(hint, value, where=where)
+    if hint is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"{where}: expected a number, got {value!r}"
+            )
+        return float(value)
+    if hint is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigurationError(
+                f"{where}: expected an integer, got {value!r}"
+            )
+        return value
+    if hint is bool:
+        if not isinstance(value, bool):
+            raise ConfigurationError(
+                f"{where}: expected true/false, got {value!r}"
+            )
+        return value
+    if hint is str:
+        if not isinstance(value, str):
+            raise ConfigurationError(
+                f"{where}: expected a string, got {value!r}"
+            )
+        return value
+    return value
+
+
+def from_spec(cls: type[T], payload: Mapping, where: str = "") -> T:
+    """Build a config dataclass from a spec dict, strictly validated.
+
+    Unknown keys, wrong-typed values and missing required fields all
+    raise :class:`ConfigurationError` naming the offending key, so a
+    scenario author sees ``system.mshrs: expected an integer`` rather
+    than a bare ``TypeError`` from deep inside a constructor.
+    """
+    where = where or cls.__name__
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise ConfigurationError(f"{where}: not a config dataclass")
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"{where}: expected an object, got {type(payload).__name__}"
+        )
+    fields = {field.name: field for field in dataclasses.fields(cls) if field.init}
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown key(s) {unknown}; known: {sorted(fields)}"
+        )
+    hints = _type_hints(cls)
+    kwargs: dict[str, object] = {}
+    missing: list[str] = []
+    for name, field in fields.items():
+        if name in payload:
+            kwargs[name] = _coerce(payload[name], hints.get(name, Any), f"{where}.{name}")
+        elif (
+            field.default is dataclasses.MISSING
+            and field.default_factory is dataclasses.MISSING
+        ):
+            missing.append(name)
+    if missing:
+        raise ConfigurationError(f"{where}: missing required key(s) {missing}")
+    return cls(**kwargs)  # type: ignore[return-value]
+
+
+_JSON_TYPES: dict[object, str] = {
+    float: "number",
+    int: "integer",
+    bool: "boolean",
+    str: "string",
+}
+
+
+def _hint_schema(hint: Any) -> dict:
+    hint, optional = _strip_optional(hint)
+    origin = typing.get_origin(hint)
+    schema: dict
+    if origin is tuple:
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            schema = {"type": "array", "items": _hint_schema(args[0])}
+        else:
+            schema = {
+                "type": "array",
+                "prefixItems": [_hint_schema(arg) for arg in args],
+            }
+    elif isinstance(hint, type) and dataclasses.is_dataclass(hint):
+        schema = schema_fragment(hint)
+    elif hint in _JSON_TYPES:
+        schema = {"type": _JSON_TYPES[hint]}
+    else:
+        schema = {}
+    if optional:
+        schema = {"anyOf": [schema, {"type": "null"}]} if schema else {}
+    return schema
+
+
+class SpecConvertible:
+    """Mixin giving a config dataclass the spec round-trip surface.
+
+    ``to_spec()`` / ``from_spec()`` / ``spec_schema()`` / ``digest()``
+    delegate to the module-level helpers; mixing this into a dataclass
+    is the whole opt-in.
+    """
+
+    def to_spec(self) -> dict:
+        return to_spec(self)
+
+    @classmethod
+    def from_spec(cls: type[T], payload: Mapping, where: str = "") -> T:
+        return from_spec(cls, payload, where)
+
+    @classmethod
+    def spec_schema(cls) -> dict:
+        return schema_fragment(cls)
+
+    def digest(self) -> str:
+        return spec_digest(to_spec(self))
+
+
+def schema_fragment(cls: type) -> dict:
+    """JSON-Schema-style fragment describing one config dataclass."""
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise ConfigurationError(f"{cls!r} is not a config dataclass")
+    hints = _type_hints(cls)
+    properties: dict[str, dict] = {}
+    required: list[str] = []
+    for field in dataclasses.fields(cls):
+        if not field.init:
+            continue
+        properties[field.name] = _hint_schema(hints.get(field.name, Any))
+        if (
+            field.default is dataclasses.MISSING
+            and field.default_factory is dataclasses.MISSING
+        ):
+            required.append(field.name)
+    fragment: dict = {
+        "type": "object",
+        "properties": properties,
+        "additionalProperties": False,
+    }
+    if required:
+        fragment["required"] = required
+    return fragment

@@ -72,3 +72,10 @@ def ddr_rate_to_gbps(mega_transfers_per_s: float, bus_bytes: int = 8) -> float:
             f"data rate must be positive, got {mega_transfers_per_s} MT/s"
         )
     return mega_transfers_per_s * 1e6 * bus_bytes / BYTES_PER_GB
+
+
+def scaled(base: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer quantity, clamped below by ``minimum``."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(base * scale)))

@@ -6,9 +6,11 @@ import json
 
 from repro.checks import (
     check_curve_family,
+    check_json_file,
     check_manifest,
     check_manifest_file,
     check_platform_spec,
+    check_scenario,
 )
 from repro.core.curve import BandwidthLatencyCurve
 from repro.core.family import CurveFamily
@@ -161,3 +163,48 @@ class TestManifestRPR103:
         bad.write_text("{not json")
         findings = check_manifest_file(bad)
         assert findings and findings[0].rule_id == "RPR103"
+
+
+class TestScenarioRPR104:
+    def scenario_payload(self) -> dict:
+        from repro.scenario import preset_scenario
+
+        return preset_scenario("skylake-substrate").to_spec()
+
+    def test_valid_scenario_is_clean(self):
+        assert check_scenario(self.scenario_payload()) == []
+
+    def test_fires_on_unknown_memory_kind(self):
+        payload = self.scenario_payload()
+        payload["memory"]["kind"] = "sram"
+        findings = check_scenario(payload)
+        assert findings and findings[0].rule_id == "RPR104"
+        assert "sram" in findings[0].message
+
+    def test_fires_on_non_object(self):
+        findings = check_scenario([1, 2, 3])
+        assert findings and findings[0].rule_id == "RPR104"
+
+    def test_fires_on_unknown_key(self):
+        payload = self.scenario_payload()
+        payload["bogus"] = 1
+        findings = check_scenario(payload)
+        assert any("bogus" in f.message for f in findings)
+
+
+class TestJsonDispatch:
+    def test_scenario_marker_routes_to_rpr104(self, tmp_path):
+        from repro.scenario import preset_scenario
+
+        path = tmp_path / "scn.json"
+        payload = preset_scenario("hbm-substrate").to_spec()
+        payload["memory"]["kind"] = "sram"
+        path.write_text(json.dumps(payload))
+        findings = check_json_file(path)
+        assert findings and findings[0].rule_id == "RPR104"
+
+    def test_plain_json_routes_to_rpr103(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        findings = check_json_file(path)
+        assert findings and all(f.rule_id == "RPR103" for f in findings)

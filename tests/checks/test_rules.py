@@ -211,3 +211,29 @@ class TestEngine:
         payload = finding.to_dict()
         assert payload["rule"] == "RPR001"
         assert payload["line"] == 1
+
+
+class TestScenarioBoundaryRPR006:
+    def test_fires_on_direct_construction_in_experiments(self):
+        src = "model = SystemConfig(cores=4)\n"
+        assert rule_ids(src, "src/repro/experiments/fig9.py", rules=["RPR006"]) == ["RPR006"]
+
+    def test_fires_on_attribute_chain_construction(self):
+        src = "bench = harness.MessBenchmark(system_config=c)\n"
+        assert rule_ids(src, "src/repro/experiments/figX.py", rules=["RPR006"]) == ["RPR006"]
+
+    def test_silent_on_classmethod_spec_constructors(self):
+        src = "sweep = MessBenchmarkConfig.from_spec({'warmup_ns': 1.0})\n"
+        assert rule_ids(src, "src/repro/experiments/figX.py", rules=["RPR006"]) == []
+
+    def test_silent_outside_experiments(self):
+        src = "model = CycleAccurateModel(timing, channels=6)\n"
+        assert rule_ids(src, "src/repro/scenario/memory.py", rules=["RPR006"]) == []
+
+    def test_silent_in_experiment_tests(self):
+        src = "config = SystemConfig(cores=4)\n"
+        assert rule_ids(src, "tests/experiments/test_x.py", rules=["RPR006"]) == []
+
+    def test_suppression_comment_works(self):
+        src = "config = SystemConfig(cores=4)  # repro: ignore[RPR006]\n"
+        assert rule_ids(src, "src/repro/experiments/figX.py", rules=["RPR006"]) == []

@@ -4,28 +4,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dram.timing import DDR4_2666
+from repro.bench.harness import MessBenchmarkConfig
 from repro.experiments.common import (
     BENCH_HIERARCHY,
     bench_sweep,
-    bench_system_config,
-    graviton_substrate,
-    hbm_substrate,
+    bench_system,
+    characterization,
     measured_family,
-    skylake_substrate,
-    substrate_timing,
+    preset_scenario,
+    substrate,
 )
-from repro.memmodels.fixed import FixedLatencyModel
 
 
 class TestSystemConfigs:
     def test_default_bench_system(self):
-        config = bench_system_config()
+        config = bench_system()
         assert config.cores == 24
         assert not config.in_order
 
     def test_in_order_variant(self):
-        config = bench_system_config(cores=8, in_order=True)
+        config = bench_system(cores=8, in_order=True)
         assert config.effective_mshrs == 2
 
     def test_hierarchy_overhead_is_cpu_side_latency(self):
@@ -34,18 +32,24 @@ class TestSystemConfigs:
 
 class TestSubstrates:
     def test_skylake_substrate_configuration(self):
-        model = skylake_substrate()
-        assert model.controller.channels == 6
-        assert model.controller.timing.name == "DDR4-2666"
+        spec = preset_scenario("skylake-substrate").to_spec()
+        assert spec["memory"]["kind"] == "cycle-accurate"
+        assert spec["memory"]["params"]["channels"] == 6
+        assert spec["memory"]["params"]["timing"]["name"] == "DDR4-2666"
 
     def test_graviton_substrate(self):
-        assert graviton_substrate().controller.timing.name == "DDR5-4800"
+        spec = preset_scenario("graviton-substrate").to_spec()
+        assert spec["memory"]["params"]["timing"]["name"] == "DDR5-4800"
 
-    def test_hbm_substrate_channel_count(self):
-        assert hbm_substrate(channels=8).controller.channels == 8
+    def test_substrate_channel_count(self):
+        spec = substrate("hbm-8ch", "HBM2", channels=8).to_spec()
+        assert spec["memory"]["params"]["channels"] == 8
 
-    def test_substrate_timing_lookup(self):
-        assert substrate_timing("DDR4-2666") is DDR4_2666
+    def test_substrate_builds_a_working_model(self):
+        scenario = preset_scenario("skylake-substrate")
+        model = scenario.materialize().memory_factory()
+        assert model.controller.channels == 6
+        assert model.controller.timing.name == "DDR4-2666"
 
 
 class TestSweepScaling:
@@ -61,32 +65,33 @@ class TestSweepScaling:
         assert len(large.nop_counts) > len(small.nop_counts)
 
 
+def _tiny_characterization(name: str, latency_ns: float = 50.0):
+    return characterization(
+        name=name,
+        memory_kind="fixed-latency",
+        memory_params={"latency_ns": latency_ns},
+        cores=3,
+        sweep=MessBenchmarkConfig(
+            store_fractions=(0.0, 1.0),
+            nop_counts=(0, 600),
+            warmup_ns=1000.0,
+            measure_ns=2500.0,
+            chase_array_bytes=1024 * 1024,
+            traffic_array_bytes=1024 * 1024,
+        ),
+    )
+
+
 class TestFamilyCache:
-    def test_same_key_reuses_measurement(self):
-        calls = []
-
-        def factory():
-            model = FixedLatencyModel(latency_ns=50.0)
-            calls.append(model)
-            return model
-
-        first = measured_family("cache-test-a", factory, scale=0.99, cores=3)
-        calls_after_first = len(calls)
-        second = measured_family("cache-test-a", factory, scale=0.99, cores=3)
+    def test_same_digest_reuses_measurement(self):
+        scenario = _tiny_characterization("cache-test-a")
+        first = measured_family(scenario)
+        second = measured_family(_tiny_characterization("cache-test-a"))
         assert second is first
-        assert len(calls) == calls_after_first
 
-    def test_different_key_measures_again(self):
-        family_a = measured_family(
-            "cache-test-b",
-            lambda: FixedLatencyModel(latency_ns=50.0),
-            scale=0.99,
-            cores=3,
-        )
+    def test_different_digest_measures_again(self):
+        family_a = measured_family(_tiny_characterization("cache-test-b"))
         family_b = measured_family(
-            "cache-test-c",
-            lambda: FixedLatencyModel(latency_ns=50.0),
-            scale=0.99,
-            cores=3,
+            _tiny_characterization("cache-test-b", latency_ns=60.0)
         )
         assert family_a is not family_b

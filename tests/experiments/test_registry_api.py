@@ -163,3 +163,15 @@ class TestResultSerialization:
         clone = ExperimentResult.from_dict(original.to_dict())
         assert clone.format_table() == original.format_table()
         assert clone.digest() == original.digest()
+
+
+class TestSpecImmutability:
+    def test_params_view_is_read_only(self):
+        spec = get_spec("fig3")
+        with pytest.raises(TypeError):
+            spec.params["platforms"] = "tampered"
+
+    def test_params_still_iterable_and_testable(self):
+        spec = get_spec("fig3")
+        assert "platforms" in spec.params
+        assert sorted(spec.params)

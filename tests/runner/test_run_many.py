@@ -196,3 +196,72 @@ class TestCacheActivationHygiene:
         assert cache_mod.active_cache().root == first
         run_many(["fig2"], cache_dir=second)
         assert cache_mod.active_cache().root == second
+
+
+def _tiny_scenario(name: str = "runner-tiny"):
+    from repro.bench.harness import MessBenchmarkConfig
+    from repro.scenario import characterization
+
+    return characterization(
+        name=name,
+        memory_kind="fixed-latency",
+        memory_params={"latency_ns": 60.0},
+        cores=2,
+        sweep=MessBenchmarkConfig(
+            store_fractions=(0.0, 1.0),
+            nop_counts=(0, 600),
+            warmup_ns=500.0,
+            measure_ns=1500.0,
+            chase_array_bytes=512 * 1024,
+            traffic_array_bytes=512 * 1024,
+        ),
+    )
+
+
+class TestScenarios:
+    def test_scenarios_only_run(self):
+        outcome = run_many(scenarios=[_tiny_scenario()], use_cache=False)
+        assert outcome.manifest.ok
+        label = "scenario:runner-tiny"
+        assert [r.experiment_id for r in outcome.manifest.records] == [label]
+        assert outcome.results[label].rows
+
+    def test_spec_dicts_accepted(self):
+        outcome = run_many(
+            scenarios=[_tiny_scenario().to_spec()], use_cache=False
+        )
+        assert outcome.manifest.ok
+
+    def test_invalid_scenario_rejected_up_front(self):
+        from repro.scenario.core import Scenario
+
+        with pytest.raises(ConfigurationError):
+            run_many(scenarios=[Scenario(name="no-memory")], use_cache=False)
+
+    def test_serial_and_parallel_rows_identical(self):
+        scenarios = [_tiny_scenario(), _tiny_scenario("runner-tiny-b")]
+        serial = run_many(scenarios=scenarios, jobs=1, use_cache=False)
+        parallel = run_many(scenarios=scenarios, jobs=2, use_cache=False)
+        assert rows_blob(serial) == rows_blob(parallel)
+
+    def test_cache_key_is_the_scenario_digest(self, tmp_path):
+        scenario = _tiny_scenario("runner-cache")
+        cache_dir = tmp_path / "cache"
+        first = run_many(scenarios=[scenario], cache_dir=cache_dir)
+        second = run_many(scenarios=[scenario], cache_dir=cache_dir)
+        record = second.manifest.records[0]
+        assert record.cache_hits == 1
+        cache = ResultCache(cache_dir)
+        assert cache.get(scenario.digest()) is not None
+        blob_first = first.results["scenario:runner-cache"].to_dict()
+        blob_second = second.results["scenario:runner-cache"].to_dict()
+        assert blob_first == blob_second
+
+    def test_mixed_experiments_and_scenarios(self):
+        outcome = run_many(
+            ["fig17"], scenarios=[_tiny_scenario("runner-mixed")], jobs=2,
+            use_cache=False,
+        )
+        labels = {r.experiment_id for r in outcome.manifest.records}
+        assert labels == {"fig17", "scenario:runner-mixed"}
+        assert outcome.manifest.ok

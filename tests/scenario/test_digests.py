@@ -1,0 +1,124 @@
+"""Digest stability: golden values and generative properties.
+
+The runner's cache keys are exactly ``Scenario.digest()``, so a digest
+change invalidates every cached result for that scenario. The golden
+tables pin today's digests; if one of these tests fails, either the
+change was an intentional semantic change to the scenario encoding
+(update the golden value and expect cold caches) or an accidental
+encoding instability (fix it).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import MessBenchmarkConfig
+from repro.experiments.registry import experiment_ids
+from repro.scenario import characterization, preset_scenario
+from repro.scenario.core import Scenario
+
+GOLDEN_EXPERIMENT_DIGESTS = {
+    "table1": "d0df1c4b0ae0d78cfee9710b3c3044bd2a17a1ff45caf2285dc234135dd44b64",
+    "fig2": "60f806e6d16ba86a1fc2b09a7317822fdf80c5a4bce703d4554729ac04bf1999",
+    "fig3": "5a8a651ea61fd1ddd9123f2a1ccb72a5d934340f732765e861c2ad34688f41f4",
+    "fig4": "bbfebaba5e69d9beecd729c193ac59624595e2c9a1cfcb7abe789ff1f8950e60",
+    "fig5": "d6bea344b9578984fdd4170953239ba20edf1cd58d17bb5804d9cb608819c07a",
+    "fig6": "fcc3c406f0ea94db3ec8d9166eef4bf192da28d5bf5ae501c16a5d47bfd75352",
+    "fig7": "77b966e1595cac21047468cb319175d86689ea1ff5dffd7a52164f8a27ba5818",
+    "fig10": "a2aea1cc9fea36eeba42a50496f069282582b7fa164dc9c8a9f1abad0d466c33",
+    "fig11": "401ab119f2ae0805cf5a273219ec233431ea3b15d7e6c4d791581d4721d175dc",
+    "fig12": "304e3462390d383c5f18cbdab34af4ea5526f95f4aecdf7bc7300075d9d84718",
+    "fig13": "ae110a4116c76801436657939831be4beb8ee5746359f3cd96fe98f21558c1c4",
+    "fig14": "a1c8f47915dc0e61058890f6a3f60107b6877a65d41eecaa3fd7b3656bd71c8b",
+    "fig15": "2128d33b84efd38ac7e8b8a23659bf05c05c5f4ac593fe9e5b0a270afb67eeba",
+    "fig16": "87029b3e9fc953dac4cd89e41d7f67371a298c397fe8a0f3672221f4fa98e06b",
+    "fig17": "5b537a129550fb0db171e1bdb5c6f6bcabf8fee7aa4209a0c6aa0bd62336e9dc",
+    "fig18": "a4ec31ffea4ccaa6a0d29f1aaf9fa79f1e48a1f13d37ed959c51afa7391f83e9",
+    "openpiton": "4642fb30ba7982796502809a2ce8e5134ff0cb9abd221fa979caf8b9be18704c",
+    "optane": "6f479f046a12ca9011672cf82b22b17865a69fdeca3e871205ae9d3d3ef9c99e",
+    "ablation": "8c1d8f1a967c132adac754b191464d79b3e99af8600dc9a384f88f16c61f067c",
+}
+
+GOLDEN_PRESET_DIGESTS = {
+    "graviton-substrate": "189af8e16a2692bba5a37ccdae2b2f646df48576dd976825514e3404ecd60e2c",
+    "graviton-substrate-2ch": "f30ab60a769326fee6ae18bfd37ed8bdf5e6396d8214d3e7598d85fa2ca4966e",
+    "hbm-substrate": "3cab92625530f49a62b30c5d79547cfd644955e468d1b2ac69a507036b4c02e5",
+    "skylake-substrate": "69a82c15c5881da8a1e865736be5071c0cffc5037179b0970f3d90d1f4e7ee27",
+}
+
+
+class TestGoldenDigests:
+    def test_every_registered_experiment_has_a_golden_digest(self):
+        assert set(GOLDEN_EXPERIMENT_DIGESTS) == set(experiment_ids())
+
+    def test_experiment_digests_are_stable(self):
+        for experiment_id, expected in GOLDEN_EXPERIMENT_DIGESTS.items():
+            assert (
+                Scenario.for_experiment(experiment_id).digest() == expected
+            ), experiment_id
+
+    def test_preset_digests_are_stable(self):
+        for name, expected in GOLDEN_PRESET_DIGESTS.items():
+            assert preset_scenario(name).digest() == expected, name
+
+
+def _permute(payload: object, order: int) -> object:
+    """Recursively re-order dict keys deterministically by ``order``."""
+    if isinstance(payload, dict):
+        keys = sorted(payload, reverse=bool(order % 2))
+        if order % 3 == 0:
+            keys = keys[::-1]
+        return {key: _permute(payload[key], order + 1) for key in keys}
+    if isinstance(payload, list):
+        return [_permute(item, order) for item in payload]
+    return payload
+
+
+_SCENARIOS = st.builds(
+    characterization,
+    name=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=12
+    ),
+    memory_kind=st.just("fixed-latency"),
+    memory_params=st.fixed_dictionaries(
+        {"latency_ns": st.floats(min_value=1.0, max_value=500.0)}
+    ),
+    cores=st.integers(min_value=1, max_value=64),
+    theoretical_bandwidth_gbps=st.one_of(
+        st.none(), st.floats(min_value=1.0, max_value=1000.0)
+    ),
+    sweep=st.builds(
+        MessBenchmarkConfig,
+        store_fractions=st.just((0.0, 1.0)),
+        nop_counts=st.just((0, 600)),
+        warmup_ns=st.integers(min_value=100, max_value=5000).map(float),
+        measure_ns=st.integers(min_value=1000, max_value=20000).map(float),
+    ),
+)
+
+
+class TestDigestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=_SCENARIOS)
+    def test_round_trip_digest_is_stable(self, scenario):
+        rebuilt = Scenario.from_spec(scenario.to_spec())
+        assert rebuilt.digest() == scenario.digest()
+        assert rebuilt.to_spec() == scenario.to_spec()
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=_SCENARIOS, order=st.integers(min_value=0, max_value=5))
+    def test_digest_is_key_order_insensitive(self, scenario, order):
+        shuffled = _permute(scenario.to_spec(), order)
+        assert Scenario.from_spec(shuffled).digest() == scenario.digest()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        scenario=_SCENARIOS,
+        latency=st.floats(min_value=501.0, max_value=999.0),
+    )
+    def test_changing_memory_params_changes_digest(self, scenario, latency):
+        patched = scenario.with_overrides(
+            {"memory.params.latency_ns": latency}
+        )
+        assert patched.digest() != scenario.digest()

@@ -1,0 +1,72 @@
+"""Tests for the shared ``--opt`` / override parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario.options import (
+    apply_overrides,
+    coerce_value,
+    parse_assignments,
+)
+
+
+class TestCoerceValue:
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("true", True),
+            ("False", False),
+            ("none", None),
+            ("null", None),
+            ("42", 42),
+            ("-3", -3),
+            ("2.5", 2.5),
+            ("1e3", 1000.0),
+            ("skylake", "skylake"),
+            ('"42"', "42"),
+            ("'quoted'", "quoted"),
+            ("[1, 2, 3]", [1, 2, 3]),
+            ("(0.0, 1.0)", (0.0, 1.0)),
+            ("{'a': 1}", {"a": 1}),
+        ],
+    )
+    def test_coercion_table(self, raw, expected):
+        assert coerce_value(raw) == expected
+
+    def test_unparseable_bracket_falls_back_to_string(self):
+        assert coerce_value("[not python") == "[not python"
+
+
+class TestParseAssignments:
+    def test_parses_typed_pairs(self):
+        parsed = parse_assignments(["cores=8", "name=sky", "flag=true"])
+        assert parsed == {"cores": 8, "name": "sky", "flag": True}
+
+    def test_dotted_keys_pass_through(self):
+        assert parse_assignments(["system.cores=8"]) == {"system.cores": 8}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_assignments(["noequalsign"])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_assignments(["=5"])
+
+
+class TestApplyOverrides:
+    def test_replaces_nested_leaf(self):
+        payload = {"system": {"cores": 24}, "name": "x"}
+        patched = apply_overrides(payload, {"system.cores": 8})
+        assert patched["system"]["cores"] == 8
+        assert payload["system"]["cores"] == 24  # original untouched
+
+    def test_new_leaf_key_allowed(self):
+        patched = apply_overrides({"options": {}}, {"options.memories": "ddr4"})
+        assert patched["options"]["memories"] == "ddr4"
+
+    def test_missing_intermediate_rejected(self):
+        with pytest.raises(ConfigurationError, match="not an object"):
+            apply_overrides({"name": "x"}, {"system.cores": 8})

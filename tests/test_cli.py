@@ -109,6 +109,107 @@ class TestRun:
         assert "cache_hits=1" in capsys.readouterr().out
 
 
+class TestRunScenario:
+    def test_runs_preset_scenario_with_overrides(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "run",
+                    "--scenario",
+                    "skylake-substrate",
+                    "--no-cache",
+                    "--opt",
+                    "system.cores=2",
+                    "--opt",
+                    "sweep.nop_counts=(0, 600)",
+                    "--opt",
+                    "sweep.warmup_ns=500.0",
+                    "--opt",
+                    "sweep.measure_ns=1500.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scenario:skylake-substrate" in out
+        assert "scenario digest" in out
+
+    def test_runs_scenario_file_through_cache(self, capsys, tmp_path):
+        from repro.scenario import preset_scenario
+
+        scenario = preset_scenario("skylake-substrate").with_overrides(
+            {
+                "system.cores": 2,
+                "sweep.nop_counts": (0, 600),
+                "sweep.warmup_ns": 500.0,
+                "sweep.measure_ns": 1500.0,
+            }
+        )
+        path = tmp_path / "scn.json"
+        path.write_text(json.dumps(scenario.to_spec()))
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "--scenario", str(path), "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["run", "--scenario", str(path), "--cache-dir", cache_dir]) == 0
+        assert "cache_hits=1" in capsys.readouterr().out
+
+    def test_unknown_scenario_reference_errors(self, capsys):
+        assert main(["run", "--scenario", "bogus-substrate"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_opt_rejected_for_scenario_plus_experiment(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "fig17",
+                    "--scenario",
+                    "skylake-substrate",
+                    "--opt",
+                    "system.cores=2",
+                ]
+            )
+
+
+class TestScenarioCommand:
+    def test_list_shows_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "skylake-substrate" in out
+        assert "hbm-substrate" in out
+
+    def test_show_emits_canonical_json(self, capsys):
+        assert main(["scenario", "show", "skylake-substrate"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repro_scenario"] == 1
+        assert payload["memory"]["kind"] == "cycle-accurate"
+
+    def test_digest_is_stable_hex(self, capsys):
+        assert main(["scenario", "digest", "skylake-substrate"]) == 0
+        first = capsys.readouterr().out.split()[0]
+        assert main(["scenario", "digest", "skylake-substrate"]) == 0
+        second = capsys.readouterr().out.split()[0]
+        assert first == second
+        assert len(first) == 64
+        assert all(ch in "0123456789abcdef" for ch in first)
+
+    def test_validate_defaults_to_presets(self, capsys):
+        assert main(["scenario", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "skylake-substrate: ok" in out
+
+    def test_validate_flags_broken_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"repro_scenario": 1, "name": "x"}))
+        assert main(["scenario", "validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_show_needs_a_reference(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "show"])
+
+
 class TestRunTelemetry:
     def test_trace_and_metrics_flags(self, capsys, tmp_path):
         trace = tmp_path / "trace.json"
