@@ -8,10 +8,12 @@ Two halves:
   (:mod:`.rules_hotpath`), RPR004 registry hygiene
   (:mod:`.rules_registry`), RPR005 float equality
   (:mod:`.rules_floats`), RPR006 scenario-layer boundary
-  (:mod:`.rules_scenario`);
+  (:mod:`.rules_scenario`), RPR007 exception swallowing
+  (:mod:`.rules_resilience`);
 - declarative invariant validators for data artifacts
   (:mod:`.invariants`): platform specs (RPR101), curve families
-  (RPR102), run manifests (RPR103) and scenario files (RPR104).
+  (RPR102), run manifests (RPR103), scenario files (RPR104) and
+  fault plans (RPR105).
 
 Entry points: :func:`run_checks` (what ``repro check`` calls),
 :func:`check_source` (for fixture tests), and the per-artifact
@@ -39,10 +41,13 @@ from . import rules_determinism  # noqa: F401
 from . import rules_floats  # noqa: F401
 from . import rules_hotpath  # noqa: F401
 from . import rules_registry  # noqa: F401
+from . import rules_resilience  # noqa: F401
 from . import rules_scenario  # noqa: F401
 from . import rules_units  # noqa: F401
 from .invariants import (
     check_curve_family,
+    check_fault_plan,
+    check_fault_plan_file,
     check_json_file,
     check_manifest,
     check_manifest_file,
@@ -57,6 +62,8 @@ __all__ = [
     "RULE_CLASSES",
     "available_rules",
     "check_curve_family",
+    "check_fault_plan",
+    "check_fault_plan_file",
     "check_json_file",
     "check_manifest",
     "check_manifest_file",

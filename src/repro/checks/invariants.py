@@ -18,6 +18,10 @@ produces and consumes. Three artifact families, one id each:
   must parse as a :class:`~repro.scenario.core.Scenario` and pass its
   own semantic validation, so a checked-in scenario is guaranteed
   runnable by ``repro run --scenario``.
+- **RPR105** — fault plans (:mod:`repro.resilience.faults`): the
+  document must parse as a :class:`~repro.resilience.faults.FaultPlan`
+  and declare at least one fault, so a checked-in chaos plan is
+  guaranteed loadable by ``repro run --inject-faults``.
 
 Validators return :class:`~repro.checks.engine.Finding` lists (empty
 means valid) instead of raising, so callers can aggregate across many
@@ -203,6 +207,10 @@ def check_curve_family(
 _VALID_STATUSES = ("ok", "error")
 _ENVIRONMENT_KEYS = ("python_version", "platform")
 
+# mirrored from repro.resilience.failures.FAILURE_KINDS; kept literal so
+# validating a manifest does not import the execution layer
+_FAILURE_KINDS = ("crash", "timeout", "model-error", "cache-error")
+
 
 def check_manifest(payload: Mapping, source: str = "<manifest>") -> list[Finding]:
     """Validate a run-manifest document (parsed JSON)."""
@@ -266,6 +274,27 @@ def check_manifest(payload: Mapping, source: str = "<manifest>") -> list[Finding
                     source,
                     "RPR103",
                     f"{where}: status is 'error' but no error message recorded",
+                )
+            )
+        failure_kind = record.get("failure_kind")
+        if failure_kind is not None and failure_kind not in _FAILURE_KINDS:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR103",
+                    f"{where}: failure_kind must be one of "
+                    f"{list(_FAILURE_KINDS)}, got {failure_kind!r}",
+                    hint="see repro.resilience.failures.FAILURE_KINDS",
+                )
+            )
+        attempts = record.get("attempts", 1)
+        if not isinstance(attempts, int) or attempts < 1:
+            findings.append(
+                _finding(
+                    source,
+                    "RPR103",
+                    f"{where}: attempts must be a positive integer, "
+                    f"got {attempts!r}",
                 )
             )
         digest = record.get("result_digest")
@@ -345,13 +374,62 @@ def check_scenario_file(path: str | Path) -> list[Finding]:
     return check_scenario(payload, source=str(path))
 
 
+# ----------------------------------------------------------------------
+# RPR105 — fault plans
+# ----------------------------------------------------------------------
+
+def check_fault_plan(payload: Mapping, source: str = "<fault-plan>") -> list[Finding]:
+    """Validate a fault-plan document (parsed JSON)."""
+    from ..errors import MessError
+    from ..resilience.faults import FaultPlan
+
+    if not isinstance(payload, Mapping):
+        return [_finding(source, "RPR105", "fault plan is not a JSON object")]
+    try:
+        plan = FaultPlan.from_dict(payload, where=source)
+    except MessError as exc:
+        return [
+            _finding(
+                source,
+                "RPR105",
+                str(exc),
+                hint=(
+                    "see repro.resilience.faults for the plan format and "
+                    "examples/ for a runnable chaos plan"
+                ),
+            )
+        ]
+    if not plan.faults:
+        return [
+            _finding(
+                source,
+                "RPR105",
+                "fault plan declares no faults",
+                hint="an empty plan injects nothing; delete it or add faults",
+            )
+        ]
+    return []
+
+
+def check_fault_plan_file(path: str | Path) -> list[Finding]:
+    """Read and validate one fault-plan JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [_finding(str(path), "RPR105", f"cannot read fault plan: {exc}")]
+    return check_fault_plan(payload, source=str(path))
+
+
 def check_json_file(path: str | Path) -> list[Finding]:
     """Validate one ``.json`` artifact, dispatching on its shape.
 
     Documents carrying the :data:`repro.scenario.core.FORMAT_KEY`
-    marker are validated as scenarios (RPR104); everything else is
-    treated as a run manifest (RPR103).
+    marker are validated as scenarios (RPR104); documents carrying the
+    :data:`repro.resilience.faults.FORMAT_KEY` marker as fault plans
+    (RPR105); everything else is treated as a run manifest (RPR103).
     """
+    from ..resilience.faults import FORMAT_KEY as FAULT_PLAN_KEY
     from ..scenario.core import FORMAT_KEY
 
     path = Path(path)
@@ -361,4 +439,6 @@ def check_json_file(path: str | Path) -> list[Finding]:
         return [_finding(str(path), "RPR103", f"cannot read manifest: {exc}")]
     if isinstance(payload, Mapping) and FORMAT_KEY in payload:
         return check_scenario(payload, source=str(path))
+    if isinstance(payload, Mapping) and FAULT_PLAN_KEY in payload:
+        return check_fault_plan(payload, source=str(path))
     return check_manifest(payload, source=str(path))

@@ -10,19 +10,27 @@ Commands
     Show every registered experiment with its title, tags and cost.
 ``run [EXPERIMENT ...] [--scenario FILE|PRESET] [--all] [--jobs N]
 [--scale S] [--opt K=V] [--cache-dir DIR] [--no-cache]
-[--manifest PATH] [--csv PATH] [--trace PATH] [--metrics PATH]``
+[--manifest PATH] [--csv PATH] [--trace PATH] [--metrics PATH]
+[--retries N] [--deadline S] [--resume MANIFEST] [--inject-faults PLAN]``
     Run one or many experiments and/or scenarios — in parallel with
     ``--jobs``, through the content-addressed on-disk cache unless
     ``--no-cache`` — print their tables, and write a JSON run manifest
-    (wall times, row counts, cache hits, result digests).
-    ``--scenario`` takes a scenario JSON file or a preset name (see
-    ``repro scenario list``) and runs it through the same runner, cache
-    and telemetry path; with a single scenario, ``--opt`` pairs are
-    dotted-path overrides (``--opt system.cores=8``). ``--trace``
-    collects telemetry and writes a Chrome trace-event file
+    (wall times, row counts, cache hits, result digests, failure
+    taxonomy). ``--scenario`` takes a scenario JSON file or a preset
+    name (see ``repro scenario list``) and runs it through the same
+    runner, cache and telemetry path; with a single scenario, ``--opt``
+    pairs are dotted-path overrides (``--opt system.cores=8``).
+    ``--trace`` collects telemetry and writes a Chrome trace-event file
     (``chrome://tracing`` / Perfetto); ``--metrics`` writes a
     Prometheus text snapshot; either flag also embeds a per-experiment
-    telemetry summary in the manifest.
+    telemetry summary in the manifest. ``--retries`` re-dispatches
+    transient failures (crash/timeout/cache-error) with exponential
+    backoff; ``--deadline`` bounds each experiment's wall time,
+    terminating hung workers; ``--resume`` re-executes only what a
+    previous run's manifest records as unfinished and rewrites the
+    merged checkpoint; ``--inject-faults`` activates a fault-plan JSON
+    file for chaos testing. On partial failure the exit code is 1 and
+    a per-failure-class summary goes to stderr.
 ``scenario {list,show,validate,digest} [SCENARIO ...] [--scale S]``
     Work with declarative scenarios: list the named presets, show a
     preset or file as canonical JSON, validate scenario files (exit 1
@@ -74,7 +82,8 @@ from .platforms.presets import (
     optane_family,
     remote_socket_family,
 )
-from .runner import ResultCache, run_many
+from .resilience import RetryPolicy, load_fault_plan
+from .runner import ResultCache, RunManifest, resume_run, run_many
 from .scenario import (
     load_scenario,
     parse_assignments,
@@ -135,8 +144,35 @@ def _resolve_scenario(ref: str, scale: float = 1.0):
     )
 
 
+def _run_resilience_options(
+    args: argparse.Namespace,
+) -> "tuple[RetryPolicy | None, object]":
+    """``--retries`` / ``--inject-faults`` -> runner keyword values."""
+    retry = None
+    if args.retries:
+        if args.retries < 0:
+            print(
+                f"error: --retries must be >= 0, got {args.retries}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        retry = RetryPolicy(max_attempts=args.retries + 1)
+    plan = load_fault_plan(args.inject_faults) if args.inject_faults else None
+    return retry, plan
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = list(args.experiments)
+    if args.resume:
+        if ids or args.all or args.scenario or args.opt:
+            print(
+                "error: --resume re-runs a manifest's unfinished entries; "
+                "it cannot be combined with experiment ids, --all, "
+                "--scenario or --opt",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return _run_resume(args)
     if args.all:
         if ids:
             print(
@@ -189,10 +225,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    retry, fault_plan = _run_resilience_options(args)
     collect_telemetry = bool(args.trace or args.metrics)
     outcome = run_many(
         ids,
-        jobs=args.jobs,
+        jobs=args.jobs if args.jobs is not None else 1,
         scale=args.scale,
         options=experiment_options,
         scenarios=scenarios or None,
@@ -200,6 +237,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         progress=progress,
         collect_telemetry=collect_telemetry,
+        deadline_s=args.deadline,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     for label in labels:
         result = outcome.results.get(label)
@@ -225,8 +265,70 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if manifest_path:
         outcome.manifest.write(manifest_path)
         print(f"manifest written to {manifest_path}")
+    return _finish_run(outcome)
+
+
+def _finish_run(outcome) -> int:
+    """Print the summary; on partial failure, classify on stderr, exit 1."""
     print(outcome.manifest.summary())
-    return 0 if outcome.manifest.ok else 1
+    if outcome.manifest.ok:
+        return 0
+    for kind, count in sorted(outcome.manifest.failure_summary().items()):
+        noun = "experiment" if count == 1 else "experiments"
+        print(f"failed: {kind}: {count} {noun}", file=sys.stderr)
+    return 1
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    """``repro run --resume MANIFEST``: finish what a prior run left."""
+    retry, fault_plan = _run_resilience_options(args)
+    checkpoint = RunManifest.read(args.resume)
+    pending = checkpoint.pending()
+    if not pending:
+        print(f"{args.resume}: nothing to resume ({checkpoint.summary()})")
+        return 0
+    total = len(pending)
+    done = 0
+
+    def progress(record) -> None:
+        nonlocal done
+        done += 1
+        status = "ok" if record.status == "ok" else f"ERROR ({record.error})"
+        print(
+            f"[{done}/{total}] {record.experiment_id:10s} {status}  "
+            f"{record.duration_s:6.2f}s  rows={record.rows}  "
+            f"cache_hits={record.cache_hits}",
+            flush=True,
+        )
+
+    collect_telemetry = bool(args.trace or args.metrics)
+    outcome = resume_run(
+        args.resume,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=progress,
+        collect_telemetry=collect_telemetry,
+        deadline_s=args.deadline,
+        retry=retry,
+        fault_plan=fault_plan,
+    )
+    for label in sorted(outcome.results):
+        print()
+        print(outcome.results[label].format_table())
+    if outcome.telemetry is not None:
+        if args.trace:
+            telemetry.write_chrome_trace(outcome.telemetry, args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            telemetry.write_prometheus(outcome.telemetry, args.metrics)
+            print(f"metrics written to {args.metrics}")
+    # the merged manifest replaces the checkpoint, so resume is
+    # repeatable: each pass re-runs only what is still unfinished
+    manifest_path = args.manifest or args.resume
+    outcome.manifest.write(manifest_path)
+    print(f"manifest written to {manifest_path}")
+    return _finish_run(outcome)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -242,6 +344,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for kind, count in sorted(info["kinds"].items()):
             size = info["kind_bytes"].get(kind, 0)
             print(f"  {kind}: {count} ({size / 1e6:.2f} MB)")
+        corrupt = info["corrupt_entries"]
+        print(
+            f"corrupt:    {corrupt} quarantined "
+            f"({info['corrupt_bytes'] / 1e3:.1f} kB)"
+        )
+        if corrupt:
+            print(
+                "  corrupt entries were detected on read, moved aside as "
+                "*.json.corrupt and recomputed; `cache clear` removes them"
+            )
     else:  # clear
         if getattr(args, "json", False):
             print("error: --json applies to `cache info`", file=sys.stderr)
@@ -420,8 +532,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         "-j",
         type=int,
-        default=1,
-        help="worker processes (default 1: run inline)",
+        default=None,
+        help=(
+            "worker processes (default 1: run inline; with --resume, "
+            "default: the resumed run's job count)"
+        ),
     )
     run_parser.add_argument("--scale", type=float, default=1.0)
     run_parser.add_argument(
@@ -466,6 +581,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="collect telemetry and write a Prometheus text snapshot",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry transient failures (crash/timeout/cache-error) up to "
+            "N times with exponential backoff (default 0: no retries)"
+        ),
+    )
+    run_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-experiment wall-clock deadline; attempts running longer "
+            "are terminated and recorded (or retried) as timeouts"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "re-run only the entries a previous run's manifest records "
+            "as unfinished, then rewrite the merged manifest"
+        ),
+    )
+    run_parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "fault-plan JSON file injecting crashes, hangs, cache "
+            "corruption or controller divergence (chaos testing)"
+        ),
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -12,6 +12,8 @@ the full PI space.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
@@ -60,8 +62,17 @@ class PIController:
             )
 
     def update(self, estimate: float, observed: float) -> float:
-        """Next estimate given the current estimate and the observation."""
+        """Next estimate given the current estimate and the observation.
+
+        A non-finite error (NaN/inf observation or estimate) holds the
+        estimate instead of propagating: one poisoned window must not
+        contaminate the integral accumulator and every later window.
+        """
         error = observed - estimate
+        if not math.isfinite(error):
+            self.updates += 1
+            self.last_error = 0.0
+            return estimate
         self._integral = max(
             -self.integral_limit, min(self.integral_limit, self._integral + error)
         )

@@ -14,11 +14,14 @@ is re-read from the curves.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..memmodels.base import MemoryModel, MemoryRequest
 from ..memmodels.queueing import SingleServerQueue
+from ..resilience import faults as faults_mod
 from ..telemetry import registry as telemetry
 from ..units import CACHE_LINE_BYTES
 from .controller import PIController
@@ -30,6 +33,24 @@ DEFAULT_WINDOW_OPS = 1000
 #: A window counts as converged when |cpuBW - messBW| is within this
 #: relative tolerance of the observed bandwidth.
 CONVERGENCE_TOLERANCE = 0.05
+
+#: Divergence guardrail: a controller estimate above this multiple of
+#: *both* the curves' peak bandwidth and the window's observed
+#: bandwidth is physically meaningless — the proportional term alone
+#: can never overshoot the observation, so only integral windup (or a
+#: corrupted observation) gets there — and is clamped back down. A
+#: healthy loop, whatever its traffic, never trips the guard.
+DIVERGENCE_FACTOR = 1.5
+
+# Process-wide count of guardrail interventions. The runner snapshots
+# it around each experiment to mark records degraded even when telemetry
+# collection is off; monotonic, never reset.
+_DEGRADED_TOTAL = 0
+
+
+def degraded_total() -> int:
+    """Guardrail interventions in this process since interpreter start."""
+    return _DEGRADED_TOTAL
 
 
 @dataclass(frozen=True)
@@ -104,6 +125,13 @@ class MessMemorySimulator(MemoryModel):
         self.history: list[WindowRecord] = []
         self._window_index = 0
         self.converged_at_window: int | None = None
+        #: Windows the guardrails had to clamp (NaN/divergent feedback).
+        #: Non-zero means the result is degraded: usable, but produced
+        #: with controller state held or clamped to the curve bounds.
+        self.degraded_windows = 0
+        # Fault-injection hook, read once like the telemetry registry:
+        # None outside chaos runs, so the window path pays one check.
+        self._faults = faults_mod.active()
         # Null-sink fast path: when no registry is active, the only cost
         # telemetry adds to the per-window path is one None check.
         self._tel = telemetry.active()
@@ -123,6 +151,10 @@ class MessMemorySimulator(MemoryModel):
                 help="window index at first convergence (-1: not yet)",
             )
             self._tel_converged.set(-1)
+            self._tel_degraded = self._tel.counter(
+                "sim.degraded_windows",
+                help="control windows clamped by the divergence guardrails",
+            )
         # Capacity pipe at the curves' maximum bandwidth. The latency
         # feedback alone cannot bound requesters that do not wait for
         # completions (hardware prefetchers, posted writes); the pipe
@@ -216,10 +248,48 @@ class MessMemorySimulator(MemoryModel):
         cpu_bw = self._window_bytes / elapsed  # bytes/ns == GB/s
         ops = self._window_reads + self._window_writes
         read_ratio = self._window_reads / ops if ops else 1.0
-        self._mess_bw = max(0.0, self.controller.update(self._mess_bw, cpu_bw))
+        if self._faults is not None:
+            injected = self._faults.feedback_override(self._window_index)
+            if injected is not None:
+                cpu_bw = injected
+        # Guardrails (graceful degradation): a NaN/negative observation
+        # or a diverging controller must mark the result degraded and
+        # clamp to the curve bounds, never crash or poison the loop.
+        capacity = self.family.max_bandwidth_at(read_ratio)
+        degraded_reason = None
+        if not math.isfinite(cpu_bw) or cpu_bw < 0.0:
+            degraded_reason = f"non-finite window bandwidth {cpu_bw!r}"
+            # hold position: feeding the controller its own estimate
+            # yields zero error, leaving estimate and integral untouched
+            cpu_bw = self._mess_bw
+        next_bw = self.controller.update(self._mess_bw, cpu_bw)
+        # characterization traffic can legitimately observe more than the
+        # curve peak at the current read ratio, and the estimate rightly
+        # tracks it; an estimate converging back DOWN through the guard
+        # band is healthy too — divergence means moving further up,
+        # beyond both the observation and the curves
+        sane_ceiling = max(capacity, cpu_bw)
+        if not math.isfinite(next_bw):
+            degraded_reason = (
+                degraded_reason
+                or f"controller produced non-finite estimate {next_bw!r}"
+            )
+            next_bw = self._mess_bw
+        elif (
+            next_bw > sane_ceiling * DIVERGENCE_FACTOR
+            and next_bw > self._mess_bw
+        ):
+            degraded_reason = degraded_reason or (
+                f"controller diverged: estimate {next_bw:.1f} GB/s exceeds "
+                f"{DIVERGENCE_FACTOR}x the curve peak and the observed "
+                f"bandwidth (ceiling {sane_ceiling:.1f} GB/s)"
+            )
+            next_bw = sane_ceiling
+        self._mess_bw = max(0.0, next_bw)
+        if degraded_reason is not None:
+            self._mark_degraded(degraded_reason)
         self._latency_ns = self._curve_latency(self._mess_bw, read_ratio)
         # retune the capacity pipe to the current traffic composition
-        capacity = self.family.max_bandwidth_at(read_ratio)
         self._pipe.service_ns = CACHE_LINE_BYTES / max(1e-9, capacity)
         self._unloaded_ns = self._curve_latency(0.0, read_ratio)
         if (
@@ -259,6 +329,25 @@ class MessMemorySimulator(MemoryModel):
         self._window_reads = 0
         self._window_writes = 0
 
+    def _mark_degraded(self, reason: str) -> None:
+        """Record one guardrail intervention (counter + telemetry)."""
+        global _DEGRADED_TOTAL
+        _DEGRADED_TOTAL += 1
+        self.degraded_windows += 1
+        if self._tel is not None:
+            self._tel_degraded.inc()
+            self._tel.event(
+                "sim.degraded",
+                category="simulator",
+                window=self._window_index,
+                reason=reason,
+            )
+
+    @property
+    def degraded(self) -> bool:
+        """True when any window needed the divergence guardrails."""
+        return self.degraded_windows > 0
+
     def notify_window(self, now_ns: float) -> None:
         """Force a control iteration, e.g. at the end of a CPU quantum."""
         if self._window_start_ns is not None and (
@@ -272,6 +361,7 @@ class MessMemorySimulator(MemoryModel):
         self.history.clear()
         self._window_index = 0
         self.converged_at_window = None
+        self.degraded_windows = 0
         self._pipe.reset()
         self._pipe.service_ns = CACHE_LINE_BYTES / max(
             1e-9, self.family.max_bandwidth_gbps

@@ -46,6 +46,21 @@ class TelemetryError(MessError):
     """A telemetry instrument was declared or used inconsistently."""
 
 
+class CacheError(MessError):
+    """The result cache failed in a way a caller chose to surface.
+
+    Normal cache operation never raises — corruption quarantines the
+    entry and recomputes, write failures degrade to "no cache". This
+    class exists for the failure taxonomy (``repro.resilience``): code
+    that *wants* a cache problem to be a typed, classifiable failure
+    (e.g. injected faults in the chaos suite) raises it explicitly.
+    """
+
+
+class ResilienceError(MessError):
+    """A fault plan or retry policy is malformed or cannot be applied."""
+
+
 class CheckError(MessError):
     """The static-analysis pass could not run (bad path, unknown rule).
 

@@ -7,17 +7,19 @@ Three pieces:
   corruption-tolerant reads), plus the process-global activation switch
   the benchmark harness consults;
 - :mod:`repro.runner.pool` — :func:`run_many`, the process-pool fan-out
-  used by ``python -m repro run --all --jobs N``;
+  used by ``python -m repro run --all --jobs N``, with per-experiment
+  deadlines, typed failure classification, retries and pool-rebuild
+  recovery, plus :func:`resume_run` for manifest-checkpointed resume;
 - :mod:`repro.runner.manifest` — the JSON run manifest recording
-  per-experiment wall time, row counts, cache traffic and result
-  digests.
+  per-experiment wall time, row counts, cache traffic, result digests
+  and failure taxonomy.
 """
 
 from __future__ import annotations
 
 from .cache import ResultCache, activate, active_cache, deactivate, default_cache_dir
 from .manifest import ExperimentRecord, RunManifest, environment_header
-from .pool import RunOutcome, run_many
+from .pool import RunOutcome, resume_run, run_many
 
 __all__ = [
     "ExperimentRecord",
@@ -29,5 +31,6 @@ __all__ = [
     "deactivate",
     "default_cache_dir",
     "environment_header",
+    "resume_run",
     "run_many",
 ]

@@ -14,8 +14,11 @@ Design rules:
   destination directory and ``os.replace``d into place, so a concurrent
   reader (or a killed worker) never observes a half-written entry.
 - **Corruption is never fatal.** A truncated, unparsable or
-  wrong-shaped entry is discarded on read and the value is recomputed;
-  a cache must never be able to fail a run.
+  wrong-shaped entry is *quarantined* on read — renamed to
+  ``<entry>.json.corrupt`` so the evidence survives for ``repro cache
+  info`` — and the value is recomputed; a cache must never be able to
+  fail a run. Quarantines emit a ``cache.corrupt_quarantined``
+  telemetry counter when a registry is active.
 - **Failures to write are non-fatal too.** A read-only or full disk
   degrades to "no cache", not to an error.
 
@@ -32,8 +35,13 @@ import tempfile
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from ..telemetry import registry as telemetry_mod
+
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Suffix appended to a corrupt entry's filename when it is quarantined.
+CORRUPT_SUFFIX = ".corrupt"
 
 _DEFAULT_CACHE_DIR = "~/.cache/repro-mess"
 
@@ -77,6 +85,7 @@ class ResultCache:
         self.root = Path(root).expanduser() if root else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -92,8 +101,12 @@ class ResultCache:
             {"kind": kind, "config": config, "version": _package_version()}
         )
 
-    def _path(self, key: str) -> Path:
+    def path_for(self, key: str) -> Path:
+        """On-disk location of the entry for ``key`` (may not exist)."""
         return self.root / key[:2] / f"{key}.json"
+
+    # Backwards-compatible internal alias.
+    _path = path_for
 
     # ------------------------------------------------------------------
     # Read / write
@@ -104,10 +117,12 @@ class ResultCache:
 
         Any failure — missing file, unreadable file, invalid JSON, or a
         wrapper whose recorded key disagrees with the path — counts as a
-        miss; corrupted entries are deleted so they are recomputed once,
-        not re-parsed forever.
+        miss; corrupted entries are quarantined (renamed to
+        ``*.json.corrupt``) so they are recomputed once, never
+        re-parsed, and the evidence stays inspectable via
+        ``repro cache info``.
         """
-        path = self._path(key)
+        path = self.path_for(key)
         try:
             data = path.read_bytes()
         except OSError:
@@ -121,11 +136,38 @@ class ResultCache:
                 raise ValueError("key mismatch")
             payload = entry["payload"]
         except (ValueError, TypeError, KeyError):
-            self.discard(key)
+            self.quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
         return payload
+
+    def quarantine(self, key: str) -> Path | None:
+        """Move a corrupt entry aside instead of silently deleting it.
+
+        The entry is renamed to ``<entry>.json.corrupt`` so the bad
+        bytes survive for post-mortem inspection (``repro cache info``
+        reports them) while the original path is freed for the
+        recomputed value. Falls back to plain removal when the rename
+        fails; emits a ``cache.corrupt_quarantined`` telemetry counter
+        and a ``cache.quarantined`` event when a registry is active.
+        """
+        path = self.path_for(key)
+        target = path.with_name(path.name + CORRUPT_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            self.discard(key)
+            target = None  # type: ignore[assignment]
+        self.quarantined += 1
+        registry = telemetry_mod.active()
+        if registry is not None:
+            registry.counter(
+                "cache.corrupt_quarantined",
+                help="corrupt cache entries quarantined on read",
+            ).inc()
+            registry.event("cache.quarantined", category="cache", key=key)
+        return target
 
     def put(self, key: str, payload: dict | list, kind: str = "") -> bool:
         """Store ``payload`` under ``key`` atomically; False on failure."""
@@ -168,12 +210,25 @@ class ResultCache:
             if shard.is_dir():
                 yield from sorted(shard.glob("*.json"))
 
+    def corrupt_entries(self) -> Iterator[Path]:
+        """Every quarantined (``*.json.corrupt``) file in the cache."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob(f"*.json{CORRUPT_SUFFIX}"))
+
     def info(self, detail: bool = False) -> dict:
         """Summary statistics: root, entry count, bytes per kind.
 
-        With ``detail``, an ``entry_list`` is included: one
+        Quarantined entries are reported separately
+        (``corrupt_entries`` / ``corrupt_bytes``) — a non-zero count
+        means on-disk corruption was detected and survived, which is
+        worth knowing even though the run itself recovered. With
+        ``detail``, an ``entry_list`` is included: one
         ``{key, kind, bytes}`` record per entry, largest first — the
-        machine-readable breakdown behind ``repro cache info --json``.
+        machine-readable breakdown behind ``repro cache info --json``
+        — plus a ``corrupt_list`` of quarantined keys.
         """
         count = 0
         total = 0
@@ -195,22 +250,39 @@ class ResultCache:
                 entry_list.append(
                     {"key": path.stem, "kind": kind, "bytes": size}
                 )
+        corrupt_count = 0
+        corrupt_bytes = 0
+        corrupt_list: list[dict] = []
+        for path in self.corrupt_entries():
+            corrupt_count += 1
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            corrupt_bytes += size
+            if detail:
+                key = path.name[: -len(f".json{CORRUPT_SUFFIX}")]
+                corrupt_list.append({"key": key, "bytes": size})
         info = {
             "root": str(self.root),
             "entries": count,
             "bytes": total,
             "kinds": kinds,
             "kind_bytes": kind_bytes,
+            "corrupt_entries": corrupt_count,
+            "corrupt_bytes": corrupt_bytes,
         }
         if detail:
             entry_list.sort(key=lambda entry: (-entry["bytes"], entry["key"]))
             info["entry_list"] = entry_list
+            corrupt_list.sort(key=lambda entry: entry["key"])
+            info["corrupt_list"] = corrupt_list
         return info
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined included); returns the count."""
         removed = 0
-        for path in list(self.entries()):
+        for path in [*self.entries(), *self.corrupt_entries()]:
             try:
                 path.unlink()
                 removed += 1

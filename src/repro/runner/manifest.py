@@ -57,6 +57,20 @@ class ExperimentRecord:
     #: from :meth:`repro.telemetry.TelemetryRegistry.summary`; None when
     #: the run did not collect telemetry.
     telemetry: dict | None = None
+    #: Typed failure class (see :data:`repro.resilience.FAILURE_KINDS`);
+    #: None for successful experiments.
+    failure_kind: str | None = None
+    #: How many attempts this record consumed (retries included).
+    attempts: int = 1
+    #: Full traceback of the recorded failure — ``error`` keeps the
+    #: one-line summary for tables, this keeps the evidence.
+    traceback: str | None = None
+    #: True when the simulator survived this experiment in degraded mode
+    #: (controller divergence/NaN clamped to the curve bounds).
+    degraded: bool = False
+    #: For ``scenario:*`` records: the scenario's canonical spec, so a
+    #: failed scenario can be re-executed by ``repro run --resume``.
+    scenario_spec: dict | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -89,6 +103,8 @@ class RunManifest:
     started_at: float = field(default_factory=time.time)
     wall_time_s: float = 0.0
     records: list[ExperimentRecord] = field(default_factory=list)
+    #: Path of the manifest this run resumed from, when it did.
+    resumed_from: str | None = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -107,9 +123,32 @@ class RunManifest:
     def total_rows(self) -> int:
         return sum(record.rows for record in self.records)
 
+    def pending(self) -> list[ExperimentRecord]:
+        """Records that did not reach terminal success.
+
+        This is what ``repro run --resume`` re-executes: everything a
+        crashed, hung or partially failed sweep left unfinished.
+        """
+        return [record for record in self.records if record.status != "ok"]
+
+    def failure_summary(self) -> dict[str, int]:
+        """Failed-record count per typed failure class.
+
+        Records predating the failure taxonomy (no ``failure_kind``)
+        count as ``unclassified``; a current run never produces those.
+        """
+        summary: dict[str, int] = {}
+        for record in self.records:
+            if record.status == "ok":
+                continue
+            kind = record.failure_kind or "unclassified"
+            summary[kind] = summary.get(kind, 0) + 1
+        return summary
+
     def summary(self) -> str:
         """One-line human summary for CLI output and logs."""
         failed = sum(1 for r in self.records if r.status != "ok")
+        degraded = sum(1 for r in self.records if r.degraded)
         parts = [
             f"{len(self.records)} experiment(s)",
             f"{self.total_rows} rows",
@@ -117,8 +156,14 @@ class RunManifest:
             f"jobs={self.jobs}",
             f"cache hits={self.total_cache_hits}",
         ]
+        if degraded:
+            parts.append(f"degraded={degraded}")
         if failed:
-            parts.append(f"FAILED={failed}")
+            classes = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.failure_summary().items())
+            )
+            parts.append(f"FAILED={failed} ({classes})")
         return ", ".join(parts)
 
     # ------------------------------------------------------------------
@@ -136,6 +181,7 @@ class RunManifest:
             "platform": self.platform,
             "started_at": self.started_at,
             "wall_time_s": self.wall_time_s,
+            "resumed_from": self.resumed_from,
             "experiments": [record.to_dict() for record in self.records],
         }
 
@@ -154,6 +200,7 @@ class RunManifest:
                 platform=payload.get("platform", ""),
                 started_at=payload.get("started_at", 0.0),
                 wall_time_s=payload.get("wall_time_s", 0.0),
+                resumed_from=payload.get("resumed_from"),
                 records=[
                     ExperimentRecord.from_dict(entry)
                     for entry in payload.get("experiments", [])

@@ -6,6 +6,8 @@ import json
 
 from repro.checks import (
     check_curve_family,
+    check_fault_plan,
+    check_fault_plan_file,
     check_json_file,
     check_manifest,
     check_manifest_file,
@@ -208,3 +210,77 @@ class TestJsonDispatch:
         path.write_text(json.dumps({"hello": 1}))
         findings = check_json_file(path)
         assert findings and all(f.rule_id == "RPR103" for f in findings)
+
+
+class TestManifestFailureTaxonomy:
+    def failed_payload(self) -> dict:
+        manifest = RunManifest(jobs=1, package_version="1.1.0")
+        manifest.records.append(
+            ExperimentRecord(
+                experiment_id="fig2",
+                status="error",
+                error="boom",
+                failure_kind="crash",
+                attempts=2,
+            )
+        )
+        return manifest.to_dict()
+
+    def test_classified_failure_is_valid(self):
+        assert check_manifest(self.failed_payload()) == []
+
+    def test_fires_on_unknown_failure_kind(self):
+        payload = self.failed_payload()
+        payload["experiments"][0]["failure_kind"] = "gremlin"
+        messages = " ".join(f.message for f in check_manifest(payload))
+        assert "failure_kind" in messages and "gremlin" in messages
+
+    def test_fires_on_non_positive_attempts(self):
+        payload = self.failed_payload()
+        payload["experiments"][0]["attempts"] = 0
+        assert any(
+            "attempts" in f.message for f in check_manifest(payload)
+        )
+
+
+class TestFaultPlanRPR105:
+    def plan_payload(self) -> dict:
+        from repro.resilience import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            seed=7, faults=(FaultSpec(kind="crash", target="fig2"),)
+        ).to_dict()
+
+    def test_valid_plan_is_clean(self):
+        assert check_fault_plan(self.plan_payload()) == []
+
+    def test_fires_on_unknown_fault_kind(self):
+        payload = self.plan_payload()
+        payload["faults"][0]["kind"] = "meteor"
+        findings = check_fault_plan(payload)
+        assert findings and findings[0].rule_id == "RPR105"
+        assert "meteor" in findings[0].message
+
+    def test_fires_on_empty_plan(self):
+        payload = self.plan_payload()
+        payload["faults"] = []
+        findings = check_fault_plan(payload)
+        assert findings and "no faults" in findings[0].message
+
+    def test_fires_on_non_object(self):
+        findings = check_fault_plan([1, 2])
+        assert findings and findings[0].rule_id == "RPR105"
+
+    def test_fault_plan_marker_routes_dispatch(self, tmp_path):
+        path = tmp_path / "plan.json"
+        payload = self.plan_payload()
+        payload["faults"][0]["probability"] = 2.0
+        path.write_text(json.dumps(payload))
+        findings = check_json_file(path)
+        assert findings and findings[0].rule_id == "RPR105"
+
+    def test_fault_plan_file_reports_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        findings = check_fault_plan_file(path)
+        assert findings and findings[0].rule_id == "RPR105"

@@ -237,3 +237,70 @@ class TestScenarioBoundaryRPR006:
     def test_suppression_comment_works(self):
         src = "config = SystemConfig(cores=4)  # repro: ignore[RPR006]\n"
         assert rule_ids(src, "src/repro/experiments/figX.py", rules=["RPR006"]) == []
+
+
+class TestExceptionSwallowRPR007:
+    def test_fires_on_bare_except(self):
+        src = "try:\n    run()\nexcept:\n    pass\n"
+        assert rule_ids(src, rules=["RPR007"]) == ["RPR007"]
+
+    def test_fires_on_swallowed_broad_handler(self):
+        src = "try:\n    run()\nexcept Exception:\n    pass\n"
+        assert rule_ids(src, rules=["RPR007"]) == ["RPR007"]
+
+    def test_fires_on_tuple_containing_base_exception(self):
+        src = "try:\n    run()\nexcept (ValueError, BaseException):\n    x = 1\n"
+        assert rule_ids(src, rules=["RPR007"]) == ["RPR007"]
+
+    def test_fires_on_dotted_broad_name(self):
+        src = "try:\n    run()\nexcept builtins.Exception:\n    flag = True\n"
+        assert rule_ids(src, rules=["RPR007"]) == ["RPR007"]
+
+    def test_silent_when_handler_reraises(self):
+        src = (
+            "try:\n    run()\nexcept Exception as exc:\n"
+            "    raise CacheError(str(exc)) from exc\n"
+        )
+        assert rule_ids(src, rules=["RPR007"]) == []
+
+    def test_silent_when_handler_calls_something(self):
+        # Classifying, logging or recording the failure all show up as a
+        # call in the handler body.
+        src = (
+            "try:\n    run()\nexcept Exception as exc:\n"
+            "    kind = classify_failure(exc)\n"
+        )
+        assert rule_ids(src, rules=["RPR007"]) == []
+
+    def test_silent_when_handler_returns_fallback(self):
+        src = "try:\n    run()\nexcept Exception:\n    return default\n"
+        wrapped = "def f():\n" + "\n".join(
+            "    " + line for line in src.splitlines()
+        ) + "\n"
+        assert rule_ids(wrapped, rules=["RPR007"]) == []
+
+    def test_call_nested_in_conditional_counts_as_acting(self):
+        src = (
+            "try:\n    run()\nexcept Exception as exc:\n"
+            "    if verbose:\n        log(exc)\n"
+        )
+        assert rule_ids(src, rules=["RPR007"]) == []
+
+    def test_call_only_inside_nested_def_does_not_count(self):
+        # Code merely *defined* in the handler never runs there.
+        src = (
+            "try:\n    run()\nexcept Exception:\n"
+            "    def later():\n        log('x')\n"
+        )
+        assert rule_ids(src, rules=["RPR007"]) == ["RPR007"]
+
+    def test_silent_on_narrow_handler(self):
+        src = "try:\n    run()\nexcept OSError:\n    pass\n"
+        assert rule_ids(src, rules=["RPR007"]) == []
+
+    def test_suppression_on_the_except_line(self):
+        src = (
+            "try:\n    run()\n"
+            "except Exception:  # repro: ignore[RPR007]\n    pass\n"
+        )
+        assert rule_ids(src, rules=["RPR007"]) == []

@@ -1,0 +1,224 @@
+"""Chaos suite: seeded fault plans driven through the real runner.
+
+Every test here injects a fault from the deterministic plan format and
+asserts the execution layer's contract: crashes retry or resume to
+completion, hangs hit their deadline, corrupted cache entries are
+quarantined and recomputed byte-identically, and corrupted controller
+feedback degrades gracefully instead of crashing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import MessBenchmarkConfig
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy
+from repro.runner import ResultCache, resume_run, run_many
+from repro.scenario import characterization
+
+#: Fixed seed for every chaos plan — runs must replay bit-for-bit.
+CHAOS_SEED = 1234
+
+#: Backoff-free policy so chaos tests spend no wall time sleeping.
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+
+
+def crash_plan(target: str = "fig2") -> FaultPlan:
+    """Crash on the first attempt only: transient by construction."""
+    return FaultPlan(
+        seed=CHAOS_SEED,
+        faults=(FaultSpec(kind="crash", target=target, attempts=(1,)),),
+    )
+
+
+def tiny_mess_scenario(name: str = "chaos-mess"):
+    """A small Mess-backed characterization: real control loop, quick."""
+    return characterization(
+        name=name,
+        memory_kind="mess",
+        memory_params={
+            "curves": {"platform": "Intel Skylake Xeon Platinum"},
+            "window_ops": 40,
+        },
+        cores=2,
+        sweep=MessBenchmarkConfig(
+            store_fractions=(0.0, 1.0),
+            nop_counts=(0, 600),
+            warmup_ns=500.0,
+            measure_ns=1500.0,
+            chase_array_bytes=512 * 1024,
+            traffic_array_bytes=512 * 1024,
+        ),
+    )
+
+
+class TestCrashRecovery:
+    def test_inline_crash_retries_to_success(self):
+        outcome = run_many(
+            ["fig2"],
+            jobs=1,
+            use_cache=False,
+            retry=FAST_RETRY,
+            fault_plan=crash_plan(),
+        )
+        record = outcome.manifest.records[0]
+        assert record.status == "ok"
+        assert record.attempts == 2
+        assert record.failure_kind is None
+
+    def test_unretried_crash_is_classified_with_evidence(self):
+        outcome = run_many(
+            ["fig2"], jobs=1, use_cache=False, fault_plan=crash_plan()
+        )
+        record = outcome.manifest.records[0]
+        assert record.status == "error"
+        assert record.failure_kind == "crash"
+        assert record.attempts == 1
+        assert record.traceback and "WorkerCrashError" in record.traceback
+        assert outcome.manifest.failure_summary() == {"crash": 1}
+
+    def test_crash_then_resume_completes(self, tmp_path):
+        crashed = run_many(
+            ["fig2"], jobs=1, use_cache=False, fault_plan=crash_plan()
+        )
+        assert not crashed.manifest.ok
+        checkpoint = tmp_path / "manifest.json"
+        crashed.manifest.write(checkpoint)
+        resumed = resume_run(checkpoint, jobs=1, use_cache=False)
+        assert resumed.manifest.ok
+        assert resumed.manifest.resumed_from == str(checkpoint)
+        assert resumed.manifest.records[0].status == "ok"
+
+    def test_pooled_crash_rebuilds_pool_and_completes(self):
+        # A real os._exit in a worker surfaces as BrokenProcessPool; the
+        # scheduler must rebuild the pool, re-dispatch everything that
+        # was in flight, and still finish both experiments.
+        outcome = run_many(
+            ["fig2", "fig17"],
+            jobs=2,
+            use_cache=False,
+            retry=FAST_RETRY,
+            fault_plan=crash_plan("fig2"),
+        )
+        assert outcome.manifest.ok
+        by_id = {r.experiment_id: r for r in outcome.manifest.records}
+        assert by_id["fig2"].attempts == 2
+
+
+class TestDeadlines:
+    def test_hang_hits_deadline_and_is_classified_timeout(self):
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            faults=(FaultSpec(kind="hang", target="fig17", seconds=30.0),),
+        )
+        start = time.monotonic()
+        outcome = run_many(
+            ["fig17"],
+            jobs=1,
+            use_cache=False,
+            deadline_s=1.5,
+            fault_plan=plan,
+        )
+        wall = time.monotonic() - start
+        record = outcome.manifest.records[0]
+        assert record.status == "error"
+        assert record.failure_kind == "timeout"
+        # The 30 s hang must not be waited out.
+        assert wall < 15.0
+        assert outcome.manifest.failure_summary() == {"timeout": 1}
+
+
+class TestCacheCorruption:
+    def test_corrupt_entry_is_quarantined_and_recomputed(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        clean = run_many(["fig2"], jobs=1, cache_dir=cache_dir)
+        clean_digest = clean.manifest.records[0].result_digest
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            faults=(FaultSpec(kind="cache-corrupt", target="fig2"),),
+        )
+        chaotic = run_many(["fig2"], jobs=1, cache_dir=cache_dir, fault_plan=plan)
+        record = chaotic.manifest.records[0]
+        assert record.status == "ok"
+        # Byte-identical result despite the corrupted checkpoint...
+        assert record.result_digest == clean_digest
+        # ...recomputed, not served from the trashed entry...
+        assert record.cache_hits == 0
+        # ...with the bad file quarantined for post-mortem.
+        quarantined = list(ResultCache(cache_dir).corrupt_entries())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.endswith(".corrupt")
+
+
+class TestControllerCorruption:
+    def test_nan_feedback_degrades_gracefully(self):
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            faults=(
+                FaultSpec(kind="controller-nan", target="scenario:*", window=1),
+            ),
+        )
+        outcome = run_many(
+            scenarios=[tiny_mess_scenario("chaos-nan")],
+            jobs=1,
+            use_cache=False,
+            fault_plan=plan,
+        )
+        record = outcome.manifest.records[0]
+        assert record.status == "ok"
+        assert record.degraded
+
+    def test_healthy_scenario_is_not_marked_degraded(self):
+        outcome = run_many(
+            scenarios=[tiny_mess_scenario("chaos-clean")],
+            jobs=1,
+            use_cache=False,
+        )
+        record = outcome.manifest.records[0]
+        assert record.status == "ok"
+        assert not record.degraded
+
+
+class TestAcceptance:
+    def test_combined_fault_plan_completes_with_classified_outcomes(self):
+        # Crash + cache corruption + controller corruption in one seeded
+        # plan: retries and guardrails must carry the whole sweep to
+        # completion with zero unclassified failures.
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            faults=(
+                FaultSpec(kind="crash", target="fig2", attempts=(1,)),
+                FaultSpec(kind="cache-corrupt", target="fig*"),
+                FaultSpec(kind="controller-nan", target="scenario:*", window=1),
+            ),
+        )
+        outcome = run_many(
+            ["fig2"],
+            scenarios=[tiny_mess_scenario("chaos-combo")],
+            jobs=1,
+            use_cache=False,
+            retry=FAST_RETRY,
+            fault_plan=plan,
+        )
+        assert outcome.manifest.ok
+        assert outcome.manifest.failure_summary() == {}
+        by_id = {r.experiment_id: r for r in outcome.manifest.records}
+        assert by_id["fig2"].attempts == 2
+        assert by_id["scenario:chaos-combo"].degraded
+        assert "degraded=1" in outcome.manifest.summary()
+
+    def test_same_plan_same_seed_replays_identically(self):
+        runs = [
+            run_many(
+                ["fig2"],
+                jobs=1,
+                use_cache=False,
+                retry=FAST_RETRY,
+                fault_plan=crash_plan(),
+            )
+            for _ in range(2)
+        ]
+        digests = [run.manifest.records[0].result_digest for run in runs]
+        attempts = [run.manifest.records[0].attempts for run in runs]
+        assert digests[0] == digests[1]
+        assert attempts == [2, 2]

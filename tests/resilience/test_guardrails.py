@@ -1,0 +1,125 @@
+"""Tests for simulator graceful degradation and controller guardrails.
+
+A corrupted feedback value or a diverging controller must clamp to the
+curve bounds and mark the run degraded — never crash, never poison the
+feedback loop with NaN.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.controller import PIController
+from repro.core.simulator import (
+    DIVERGENCE_FACTOR,
+    MessMemorySimulator,
+    degraded_total,
+)
+from repro.request import AccessType, MemoryRequest
+from repro.resilience import FaultPlan, FaultSpec
+from repro.resilience import faults as faults_mod
+
+
+def drive(simulator, gap_ns=1.0, ops=4000):
+    """Open-loop read stream at a fixed request rate."""
+    now = 0.0
+    for index in range(ops):
+        simulator.access(MemoryRequest((index % 4096) * 64, AccessType.READ, now))
+        now += gap_ns
+
+
+def nan_plan(window: int = 1, value: float = float("nan")) -> FaultPlan:
+    return FaultPlan(
+        faults=(FaultSpec(kind="controller-nan", window=window, value=value),)
+    )
+
+
+class TestControllerGuard:
+    def test_non_finite_observation_holds_estimate(self):
+        controller = PIController()
+        estimate = controller.update(10.0, float("nan"))
+        assert estimate == 10.0
+        assert controller.last_error == 0.0
+
+    def test_infinite_observation_holds_estimate(self):
+        controller = PIController()
+        assert controller.update(10.0, float("inf")) == 10.0
+
+    def test_finite_observation_still_converges(self):
+        controller = PIController(convergence_factor=0.5)
+        assert controller.update(10.0, 20.0) == pytest.approx(15.0)
+
+
+class TestSimulatorDegradation:
+    def test_nan_feedback_marks_degraded_without_crashing(self, small_family):
+        with faults_mod.activation(nan_plan(window=1)):
+            simulator = MessMemorySimulator(small_family, window_ops=200)
+            drive(simulator)
+        assert simulator.degraded
+        assert simulator.degraded_windows >= 1
+        assert math.isfinite(simulator.current_latency_ns)
+        assert simulator.current_latency_ns > 0
+
+    def test_negative_feedback_marks_degraded(self, small_family):
+        with faults_mod.activation(nan_plan(window=1, value=-50.0)):
+            simulator = MessMemorySimulator(small_family, window_ops=200)
+            drive(simulator)
+        assert simulator.degraded
+        assert math.isfinite(simulator.current_latency_ns)
+
+    def test_nan_feedback_holds_controller_position(self, small_family):
+        # The corrupted window must not move the estimate: feeding the
+        # controller its own estimate yields zero error.
+        clean = MessMemorySimulator(small_family, window_ops=200)
+        drive(clean)
+        with faults_mod.activation(nan_plan(window=1)):
+            faulted = MessMemorySimulator(small_family, window_ops=200)
+            drive(faulted)
+        assert faulted.current_latency_ns == pytest.approx(
+            clean.current_latency_ns, rel=0.05
+        )
+
+    def test_diverging_controller_is_clamped(self, small_family):
+        simulator = MessMemorySimulator(small_family, window_ops=200)
+        runaway = small_family.max_bandwidth_gbps * DIVERGENCE_FACTOR * 100
+        simulator.controller.update = lambda estimate, observed: runaway
+        drive(simulator, gap_ns=2.0, ops=600)
+        assert simulator.degraded
+        # Clamped to the sane ceiling, not the runaway estimate.
+        assert simulator._mess_bw <= small_family.max_bandwidth_gbps * 1.5
+
+    def test_non_finite_controller_output_is_held(self, small_family):
+        simulator = MessMemorySimulator(small_family, window_ops=200)
+        simulator.controller.update = lambda estimate, observed: float("inf")
+        drive(simulator, gap_ns=2.0, ops=600)
+        assert simulator.degraded
+        assert math.isfinite(simulator._mess_bw)
+
+    def test_healthy_run_is_not_degraded(self, small_family):
+        simulator = MessMemorySimulator(small_family, window_ops=200)
+        drive(simulator)
+        assert not simulator.degraded
+        assert simulator.degraded_windows == 0
+
+    def test_reset_clears_degraded_windows_and_replays(self, small_family):
+        with faults_mod.activation(nan_plan(window=1)):
+            simulator = MessMemorySimulator(small_family, window_ops=200)
+            drive(simulator)
+        first = simulator.degraded_windows
+        assert first >= 1
+        simulator.reset()
+        assert not simulator.degraded
+        # The plan was captured at construction, so a replay after reset
+        # re-injects the same fault at the same window: deterministic.
+        drive(simulator)
+        assert simulator.degraded_windows == first
+
+    def test_process_global_degraded_counter_advances(self, small_family):
+        before = degraded_total()
+        with faults_mod.activation(nan_plan(window=1)):
+            simulator = MessMemorySimulator(small_family, window_ops=200)
+            drive(simulator)
+        assert degraded_total() > before
+        assert simulator.degraded

@@ -377,3 +377,128 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([])
+
+
+class TestRunResilience:
+    def crash_plan(self, tmp_path, target="fig2") -> str:
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "repro_fault_plan": 1,
+                    "seed": 1234,
+                    "faults": [
+                        {"kind": "crash", "target": target, "attempts": [1]}
+                    ],
+                }
+            )
+        )
+        return str(path)
+
+    def test_injected_crash_with_retries_succeeds(self, capsys, tmp_path):
+        plan = self.crash_plan(tmp_path)
+        assert main(
+            ["run", "fig2", "--inject-faults", plan, "--retries", "1"]
+        ) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_unretried_failure_exits_nonzero_with_class_summary(
+        self, capsys, tmp_path
+    ):
+        plan = self.crash_plan(tmp_path)
+        assert main(["run", "fig2", "--inject-faults", plan]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED=1 (crash=1)" in captured.out
+        assert "failed: crash: 1 experiment" in captured.err
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--retries", "-1"])
+        assert "--retries" in capsys.readouterr().err
+
+    def test_missing_fault_plan_is_an_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.json")
+        assert main(["run", "fig2", "--inject-faults", missing]) == 1
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_resume_excludes_other_selections(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--resume", str(tmp_path / "m.json")])
+        assert "--resume" in capsys.readouterr().err
+
+    def test_crash_checkpoint_then_resume_completes(self, capsys, tmp_path):
+        plan = self.crash_plan(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        assert main(
+            [
+                "run",
+                "fig2",
+                "--inject-faults",
+                plan,
+                "--manifest",
+                str(manifest),
+            ]
+        ) == 1
+        capsys.readouterr()
+        assert main(["run", "--resume", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert f"manifest written to {manifest}" in out
+        # The checkpoint was rewritten: resuming again finds nothing.
+        assert main(["run", "--resume", str(manifest)]) == 0
+        assert "nothing to resume" in capsys.readouterr().out
+
+    def test_deadline_classifies_hang_as_timeout(self, capsys, tmp_path):
+        plan = tmp_path / "hang.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "repro_fault_plan": 1,
+                    "faults": [
+                        {"kind": "hang", "target": "fig17", "seconds": 30.0}
+                    ],
+                }
+            )
+        )
+        assert main(
+            [
+                "run",
+                "fig17",
+                "--inject-faults",
+                str(plan),
+                "--deadline",
+                "1.5",
+            ]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "FAILED=1 (timeout=1)" in captured.out
+        assert "failed: timeout: 1 experiment" in captured.err
+
+
+class TestCacheCorruptReport:
+    def test_cache_info_reports_quarantined_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        plan = tmp_path / "corrupt.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "repro_fault_plan": 1,
+                    "faults": [{"kind": "cache-corrupt", "target": "fig2"}],
+                }
+            )
+        )
+        assert main(["run", "fig2", "--cache-dir", cache_dir]) == 0
+        assert main(
+            [
+                "run",
+                "fig2",
+                "--cache-dir",
+                cache_dir,
+                "--inject-faults",
+                str(plan),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt:    1 quarantined" in out
+        assert "moved aside" in out
