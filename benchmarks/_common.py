@@ -1,17 +1,29 @@
-"""Shared infrastructure for the benchmark suite.
+"""Thin pytest-benchmark adapter over :mod:`repro.bench.perf`.
 
-Every paper table/figure has a ``bench_<id>.py`` here; running
+Every paper table/figure has a ``bench_<id>.py`` here, each a one-line
+shim over :func:`experiment_bench_test`; running
 
     pytest benchmarks/ --benchmark-only
 
-regenerates all of them. Each bench executes its experiment once (via
-``benchmark.pedantic``), records the wall time, writes the data series
-to ``benchmarks/results/<id>.csv`` and the formatted table plus notes to
-``benchmarks/results/<id>.txt``, and attaches the experiment notes to
+regenerates all of them through the *same* harness ``repro bench``
+uses (``repro.bench.perf.experiment_bench``). Each bench executes its
+experiment once (via ``benchmark.pedantic``) under the selected
+engine, records the wall time, writes the data series to
+``benchmarks/results/<id>.csv`` and the formatted table plus notes to
+``benchmarks/results/<id>.txt``, and attaches the experiment digest to
 the pytest-benchmark record.
 
-Set ``REPRO_BENCH_SCALE`` (default 1.0) to trade resolution for wall
-time; 2.0 approaches the paper's sweep densities.
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` (default 1.0): sweep-density multiplier; 2.0
+  approaches the paper's densities.
+- ``REPRO_BENCH_ENGINE`` (default ``reference``): execution engine,
+  ``reference`` or ``vectorized`` — both produce bit-identical
+  results, see :mod:`repro.engine`.
+
+For engine-vs-engine speedup tracking use ``repro bench`` instead:
+it times both engines, cross-checks their digests, and emits the
+``BENCH_*.json`` trajectory payloads.
 """
 
 from __future__ import annotations
@@ -19,9 +31,9 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.experiments import run_experiment
+from repro import engine as engine_mod
+from repro.bench import perf
 from repro.experiments.base import ExperimentResult
-from repro.runner import cache as result_cache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -29,6 +41,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def bench_scale() -> float:
     """Sweep-density multiplier from the environment."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_engine() -> str:
+    """Execution engine from the environment (default: reference)."""
+    return engine_mod.resolve(
+        os.environ.get("REPRO_BENCH_ENGINE", engine_mod.DEFAULT_ENGINE)
+    )
 
 
 def save_result(result: ExperimentResult) -> None:
@@ -41,25 +60,37 @@ def save_result(result: ExperimentResult) -> None:
 
 
 def run_experiment_benchmark(benchmark, experiment_id: str) -> ExperimentResult:
-    """Standard body of one experiment bench."""
+    """Standard body of one experiment bench, routed through perf."""
     scale = bench_scale()
-    # benches measure the real cost of an experiment: make sure no
-    # previously activated on-disk cache short-circuits the sweep
-    result_cache.deactivate()
-    result = benchmark.pedantic(
-        _run_uncached,
-        args=(experiment_id, scale),
-        iterations=1,
-        rounds=1,
-    )
+    engine = bench_engine()
+    spec = perf.experiment_bench(experiment_id, scale=scale)
+    work, summarize = spec.make()
+
+    def once() -> ExperimentResult:
+        with engine_mod.using(engine):
+            return work(engine)
+
+    result = benchmark.pedantic(once, iterations=1, rounds=1)
     save_result(result)
-    benchmark.extra_info["rows"] = len(result.rows)
+    meta = summarize(result)
+    benchmark.extra_info["rows"] = meta["rows"]
     benchmark.extra_info["scale"] = scale
-    benchmark.extra_info["digest"] = result.digest()
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["digest"] = meta["digest"]
     for index, note in enumerate(result.notes):
         benchmark.extra_info[f"note_{index}"] = note.splitlines()[0]
     return result
 
 
-def _run_uncached(experiment_id: str, scale: float) -> ExperimentResult:
-    return run_experiment(experiment_id, scale=scale)
+def experiment_bench_test(experiment_id: str):
+    """Build the pytest test function for one experiment bench shim."""
+
+    def test(benchmark):
+        result = run_experiment_benchmark(benchmark, experiment_id)
+        assert result.rows
+
+    test.__name__ = f"test_{experiment_id}"
+    test.__doc__ = (
+        f"Regenerate {experiment_id!r} through the shared perf harness."
+    )
+    return test

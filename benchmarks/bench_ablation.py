@@ -3,9 +3,6 @@
 Convergence factor, window length, interpolation scheme, FR-FCFS vs FCFS, page policy and write-queue depth.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_ablation(benchmark):
-    result = run_experiment_benchmark(benchmark, "ablation")
-    assert result.rows
+test_ablation = experiment_bench_test("ablation")

@@ -3,9 +3,6 @@
 Closes the loop: benchmark the substrate, feed the curves to the Mess simulator, benchmark the simulated machine, compare. Three memory technologies.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig10(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig10")
-    assert result.rows
+test_fig10 = experiment_bench_test("fig10")

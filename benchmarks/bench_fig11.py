@@ -3,9 +3,6 @@
 STREAM, LMbench and multichase on every model; errors and wall times.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig11(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig11")
-    assert result.rows
+test_fig11 = experiment_bench_test("fig11")

@@ -3,9 +3,6 @@
 Single-channel DDR5/HBM2 Mess simulation scaled to the full channel count.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig12(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig12")
-    assert result.rows
+test_fig12 = experiment_bench_test("fig12")

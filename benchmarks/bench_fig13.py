@@ -3,9 +3,6 @@
 gem5-simple, internal DDR5, Ramulator 2 and Mess against the DDR5 substrate.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig13(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig13")
-    assert result.rows
+test_fig13 = experiment_bench_test("fig13")

@@ -3,9 +3,6 @@
 Manufacturer-analog CXL curves reproduced by Mess inside ZSim-, gem5- and OpenPiton-style systems.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig14(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig14")
-    assert result.rows
+test_fig14 = experiment_bench_test("fig14")

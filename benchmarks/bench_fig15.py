@@ -3,9 +3,6 @@
 Samples positioned on the curves with stress scores; saturated-time and peak-latency notes.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig15(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig15")
-    assert result.rows
+test_fig15 = experiment_bench_test("fig15")

@@ -3,9 +3,6 @@
 MPI-delimited iterations, per-phase stress, and the ASCII timeline.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig16(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig16")
-    assert result.rows
+test_fig16 = experiment_bench_test("fig16")

@@ -3,9 +3,6 @@
 Operating points and performance deltas of the two characteristic workloads.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig17(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig17")
-    assert result.rows
+test_fig17 = experiment_bench_test("fig17")

@@ -3,9 +3,6 @@
 All 29 profiles sorted by bandwidth utilization with their performance deltas.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig18(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig18")
-    assert result.rows
+test_fig18 = experiment_bench_test("fig18")

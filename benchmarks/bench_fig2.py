@@ -3,9 +3,6 @@
 Emits the full point cloud, the derived metric annotations and the STREAM verticals.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig2(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig2")
-    assert result.rows
+test_fig2 = experiment_bench_test("fig2")

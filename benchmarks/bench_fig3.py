@@ -3,9 +3,6 @@
 One series per platform, plus the Zen 2 write-anomaly note.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig3(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig3")
-    assert result.rows
+test_fig3 = experiment_bench_test("fig3")

@@ -3,9 +3,6 @@
 Probes the gem5-simple, internal-DDR and Ramulator 2 analogs and compares each against the calibrated Graviton 3 family.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig4(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig4")
-    assert result.rows
+test_fig4 = experiment_bench_test("fig4")

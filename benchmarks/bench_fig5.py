@@ -3,9 +3,6 @@
 Probes fixed-latency, M/D/1, internal DDR, DRAMsim3-analog and Ramulator-analog into curve families.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig5(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig5")
-    assert result.rows
+test_fig5 = experiment_bench_test("fig5")

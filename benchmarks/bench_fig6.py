@@ -3,9 +3,6 @@
 Replays Mess-shaped traces through the external-simulator analogs and the cycle-level controller.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig6(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig6")
-    assert result.rows
+test_fig6 = experiment_bench_test("fig6")

@@ -3,9 +3,6 @@
 Controller-measured censuses next to the DRAMsim3/Ramulator measured signatures.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_fig7(benchmark):
-    result = run_experiment_benchmark(benchmark, "fig7")
-    assert result.rows
+test_fig7 = experiment_bench_test("fig7")

@@ -3,9 +3,6 @@
 MSHR-limited read bandwidth, posted-write uplift, and the coherency-bug detection.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_openpiton(benchmark):
-    result = run_experiment_benchmark(benchmark, "openpiton")
-    assert result.rows
+test_openpiton = experiment_bench_test("openpiton")

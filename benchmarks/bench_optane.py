@@ -4,9 +4,6 @@ Probes the Optane device model into curves, compares against the preset
 family, and converges the Mess simulator on them.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_optane(benchmark):
-    result = run_experiment_benchmark(benchmark, "optane")
-    assert result.rows
+test_optane = experiment_bench_test("optane")

@@ -3,9 +3,6 @@
 Derives the metric set from the calibrated families of all eight platforms and prints it next to the paper's values.
 """
 
-from _common import run_experiment_benchmark
+from _common import experiment_bench_test
 
-
-def test_table1(benchmark):
-    result = run_experiment_benchmark(benchmark, "table1")
-    assert result.rows
+test_table1 = experiment_bench_test("table1")

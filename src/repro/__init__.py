@@ -22,6 +22,11 @@ stand on:
   comparison tooling, and one module per paper table/figure;
 - :mod:`repro.runner` — a process-pool experiment runner with a
   content-addressed on-disk cache and JSON run manifests;
+- :mod:`repro.scenario` — declarative, digest-keyed run configuration:
+  the sanctioned way to build simulators and harnesses;
+- :mod:`repro.engine` — execution-engine selection: the scalar
+  ``reference`` engine vs the batched-numpy ``vectorized`` engine,
+  bit-exact with each other (``repro bench`` tracks the speedups);
 - :mod:`repro.telemetry` — observability: typed counters/gauges/
   histograms, spans, and per-window control-loop traces, exportable as
   JSONL, Chrome trace-event (Perfetto) and Prometheus text. Disabled by
@@ -29,17 +34,22 @@ stand on:
 
 Quickstart::
 
-    from repro import MessBenchmark, MessMemorySimulator, SystemConfig
-    from repro.memmodels import CycleAccurateModel
-    from repro.dram import DDR4_2666
+    from repro.scenario import Scenario, build_memory
 
-    bench = MessBenchmark(
-        system_config=SystemConfig(cores=8),
-        memory_factory=lambda: CycleAccurateModel(DDR4_2666, channels=6),
+    scenario = Scenario(
         name="my-platform",
+        memory={
+            "kind": "cycle-accurate",
+            "params": {"timing": "DDR4-2666", "channels": 6},
+        },
+        engine="vectorized",  # or "reference" (the default)
     )
-    family = bench.run()          # characterize
-    sim = MessMemorySimulator(family)   # simulate with the curves
+    family = scenario.materialize().benchmark().run()  # characterize
+    sim = build_memory("mess", {"curves": family})  # simulate on curves
+
+(Constructing ``MessBenchmark`` directly still works but is deprecated
+in favor of the scenario route, which wires up the engine seam and the
+digest-keyed characterization cache.)
 """
 
 from __future__ import annotations

@@ -11,7 +11,8 @@ one curve; sweeping store mixes produces the family.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+import warnings
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
@@ -73,6 +74,23 @@ class PointResult:
     measured_read_ratio: float
 
 
+#: True while the scenario layer is building a harness; direct
+#: construction anywhere else draws a :class:`DeprecationWarning`.
+_construction_sanctioned = False
+
+
+@contextmanager
+def _sanctioned_construction():
+    """Mark MessBenchmark construction as scenario-routed (no warning)."""
+    global _construction_sanctioned
+    previous = _construction_sanctioned
+    _construction_sanctioned = True
+    try:
+        yield
+    finally:
+        _construction_sanctioned = previous
+
+
 @dataclass
 class MessBenchmark:
     """Runs the Mess characterization against a system + memory model.
@@ -104,6 +122,17 @@ class MessBenchmark:
     #: digest. ``None`` (the default) never touches the cache.
     cache_key: str | None = None
     points: list[PointResult] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not _construction_sanctioned:
+            warnings.warn(
+                "constructing MessBenchmark directly is deprecated; declare "
+                "a scenario and build the harness through "
+                "Scenario.materialize().benchmark(), which wires up the "
+                "engine seam and the digest-keyed characterization cache",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def run(self) -> CurveFamily:
         """Execute the full sweep and return the curve family.

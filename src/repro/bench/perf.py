@@ -1,0 +1,433 @@
+"""The perf-bench registry: a tracked reference-vs-vectorized trajectory.
+
+One named bench is a workload that produces the *same* result under
+both engines (see :mod:`repro.engine`); the harness times it under
+each, checks the result digests agree, and reports the speedup. The
+registry replaces the copy-pasted ``benchmarks/bench_fig*.py`` bodies:
+every paper experiment is registered here under ``experiment.<id>``,
+and the engine-sensitive inner loops (curve interpolation, the model
+probe, the Mess window drive) have dedicated benches tagged
+``curves`` / ``probe`` / ``mess``.
+
+``repro bench --filter curves --json BENCH_curves.json`` is the CI
+smoke invocation: the committed ``BENCH_curves.json`` is the perf
+trajectory of record, and the workflow fails when the measured
+speedup drops below its pinned floor.
+
+Output schema (``--json``)::
+
+    {
+      "repro_bench": 1,
+      "benches": [
+        {
+          "name": "curves.family_interpolation",
+          "tags": ["curves"],
+          "engine_times_s": {"reference": 1.2, "vectorized": 0.02},
+          "speedup": 60.0,
+          "meta": {"digest": "...", "digests_match": true, ...}
+        }
+      ]
+    }
+
+``speedup`` is reference time over vectorized time (best-of-``repeat``
+for each); ``meta.digests_match`` certifies the two engines produced
+bit-identical results for this workload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .. import engine as engine_mod
+from ..errors import BenchmarkError, ConfigurationError
+from ..specs import spec_digest
+
+#: Format marker of the ``--json`` payload.
+FORMAT_KEY = "repro_bench"
+
+#: Current payload version; bump on incompatible layout change.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered perf bench.
+
+    ``make()`` performs the (untimed) setup and returns a pair
+    ``(work, summarize)``: ``work(engine)`` runs the workload under the
+    already-activated engine and returns its raw result; ``summarize``
+    turns that result into a meta dict containing a ``"digest"``, so
+    the harness can certify engine equivalence. Only ``work`` is
+    timed — digesting a large result must not pollute the measurement.
+    """
+
+    name: str
+    tags: tuple[str, ...]
+    make: Callable[[], tuple[Callable[[str], object], Callable[[object], dict]]]
+
+
+_REGISTRY: dict[str, BenchSpec] = {}
+
+
+def register(name: str, *tags: str) -> Callable:
+    """Decorator registering a bench factory under ``name``."""
+
+    def decorator(make: Callable[[], Callable[[str], dict]]):
+        if name in _REGISTRY:
+            raise ConfigurationError(f"duplicate bench name {name!r}")
+        _REGISTRY[name] = BenchSpec(name=name, tags=tuple(tags), make=make)
+        return make
+
+    return decorator
+
+
+def bench_names(filter: str | None = None) -> list[str]:
+    """Registered bench names, optionally substring-filtered."""
+    _register_experiment_benches()
+    names = sorted(_REGISTRY)
+    if filter:
+        names = [
+            name
+            for name in names
+            if filter in name or filter in _REGISTRY[name].tags
+        ]
+    return names
+
+
+def run_bench(
+    spec: BenchSpec,
+    engines: Iterable[str] = engine_mod.ENGINE_NAMES,
+    repeat: int = 1,
+) -> dict:
+    """Time one bench under each engine; returns its payload entry."""
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    work, summarize = spec.make()
+    times: dict[str, float] = {}
+    metas: dict[str, dict] = {}
+    for engine in engines:
+        engine = engine_mod.resolve(engine)
+        best = float("inf")
+        for _ in range(repeat):
+            with engine_mod.using(engine):
+                start = time.perf_counter()
+                result = work(engine)
+                elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            metas[engine] = summarize(result)
+        times[engine] = best
+    digests = {meta.get("digest") for meta in metas.values()}
+    meta = dict(next(iter(metas.values())))
+    meta["digests_match"] = len(digests) == 1
+    if not meta["digests_match"]:
+        raise BenchmarkError(
+            f"bench {spec.name!r}: engines disagree: "
+            + ", ".join(
+                f"{engine}={m.get('digest')}" for engine, m in metas.items()
+            )
+        )
+    entry = {
+        "name": spec.name,
+        "tags": list(spec.tags),
+        "engine_times_s": times,
+        "meta": meta,
+    }
+    if "reference" in times and "vectorized" in times and times["vectorized"] > 0:
+        entry["speedup"] = times["reference"] / times["vectorized"]
+    return entry
+
+
+def run_benches(
+    filter: str | None = None,
+    engines: Iterable[str] = engine_mod.ENGINE_NAMES,
+    repeat: int = 1,
+    progress: Callable[[dict], None] | None = None,
+) -> dict:
+    """Run every (filtered) bench; returns the full JSON payload."""
+    names = bench_names(filter)
+    if not names:
+        raise ConfigurationError(
+            f"no benches match {filter!r}; available: {bench_names()}"
+        )
+    benches = []
+    for name in names:
+        entry = run_bench(_REGISTRY[name], engines=engines, repeat=repeat)
+        benches.append(entry)
+        if progress is not None:
+            progress(entry)
+    return {FORMAT_KEY: FORMAT_VERSION, "benches": benches}
+
+
+def write_payload(payload: dict, path: str | Path) -> None:
+    """Write a bench payload as stable, diffable JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def min_speedup(payload: dict, tag: str | None = None) -> float | None:
+    """Smallest speedup in a payload (optionally among one tag)."""
+    speedups = [
+        bench["speedup"]
+        for bench in payload.get("benches", ())
+        if "speedup" in bench and (tag is None or tag in bench.get("tags", ()))
+    ]
+    return min(speedups) if speedups else None
+
+
+# ----------------------------------------------------------------------
+# Component benches: the engine-sensitive inner loops
+# ----------------------------------------------------------------------
+
+
+def _family_digest(family) -> str:
+    return spec_digest(family.to_dict())
+
+
+@register("curves.family_interpolation", "curves")
+def _bench_family_interpolation():
+    """Full curve-family latency surface: the Mess inner loop.
+
+    The reference engine walks ``family.latency_at`` point by point;
+    the vectorized engine answers whole bandwidth sweeps per ratio via
+    :func:`repro.engine.curves.family_latency_batch`. This is the
+    headline curve-family characterization kernel the PR's >= 10x
+    target refers to.
+    """
+    from ..engine.curves import family_latency_batch
+    from ..platforms.presets import INTEL_SKYLAKE, family
+
+    fam = family(INTEL_SKYLAKE)
+    ratios = sorted(curve.read_ratio for curve in fam)
+    bandwidths = np.linspace(0.0, fam.max_bandwidth_gbps * 1.05, 20_000)
+
+    def work(engine: str) -> list[np.ndarray]:
+        if engine_mod.vectorized():
+            return [
+                family_latency_batch(fam, bandwidths, ratio)
+                for ratio in ratios
+            ]
+        return [
+            np.array([fam.latency_at(float(b), ratio) for b in bandwidths])
+            for ratio in ratios
+        ]
+
+    def summarize(surface: list[np.ndarray]) -> dict:
+        return {
+            "digest": spec_digest([column.tolist() for column in surface]),
+            "queries": int(bandwidths.size * len(ratios)),
+        }
+
+    return work, summarize
+
+
+def _probe_bench(model_factory: Callable, theoretical: float | None):
+    from .model_probe import ProbeConfig, characterize_model
+
+    # the experiments' trace-probe configuration (fig. 5): a deep
+    # outstanding-request budget, so sub-saturation points provably
+    # never stall and the batch fast path applies
+    config = ProbeConfig(
+        gaps_ns=(0.12, 0.18, 0.3, 0.45, 0.7, 1.1, 1.8, 3.0, 6.0, 15.0, 45.0),
+        ops_per_point=5000,
+        warmup_ops=800,
+        max_outstanding=1024,
+    )
+
+    def work(engine: str):
+        return characterize_model(
+            model_factory,
+            config,
+            name="bench",
+            theoretical_bandwidth_gbps=theoretical,
+        )
+
+    def summarize(fam) -> dict:
+        return {"digest": _family_digest(fam)}
+
+    return work, summarize
+
+
+@register("curves.characterize_fixed_latency", "curves", "probe")
+def _bench_characterize_fixed():
+    """Model-probe characterization of the constant-latency model."""
+    from ..memmodels.fixed import FixedLatencyModel
+
+    return _probe_bench(lambda: FixedLatencyModel(89.0), None)
+
+
+@register("probe.characterize_ramulator", "probe")
+def _bench_characterize_ramulator():
+    """Model-probe characterization of the Ramulator analog."""
+    from ..memmodels.flawed import RamulatorAnalog
+
+    return _probe_bench(lambda: RamulatorAnalog(theoretical_gbps=128.0), 128.0)
+
+
+@register("probe.characterize_dramsim3", "probe")
+def _bench_characterize_dramsim3():
+    """Model-probe characterization of the DRAMsim3 analog."""
+    from ..memmodels.flawed import DRAMsim3Analog
+
+    return _probe_bench(lambda: DRAMsim3Analog(theoretical_gbps=128.0), 128.0)
+
+
+@register("mess.drive_fixed_rate", "mess")
+def _bench_mess_drive():
+    """A fixed-rate read stream through the Mess simulator.
+
+    The open-loop harness of the ablation and Optane studies: 20k
+    requests at 64 B/ns offered bandwidth, window-batched under the
+    vectorized engine, request-at-a-time under the reference engine.
+    """
+    from ..core.simulator import MessMemorySimulator
+    from ..engine.mess import drive_fixed_rate
+    from ..platforms.presets import INTEL_SKYLAKE, family
+
+    fam = family(INTEL_SKYLAKE)
+
+    def work(engine: str):
+        simulator = MessMemorySimulator(fam, keep_history=True)
+        drive_fixed_rate(simulator, 1.0, 20_000)
+        return simulator
+
+    def summarize(simulator) -> dict:
+        stats = simulator.stats
+        return {
+            "digest": spec_digest(
+                {
+                    "reads": stats.reads,
+                    "total_latency_ns": stats.total_latency_ns,
+                    "last_completion_ns": stats.last_completion_ns,
+                    "windows": len(simulator.history),
+                    "estimate": simulator._mess_bw,
+                }
+            ),
+            "ops": 20_000,
+        }
+
+    return work, summarize
+
+
+# ----------------------------------------------------------------------
+# Experiment benches: one per paper table/figure
+# ----------------------------------------------------------------------
+
+#: Experiments too heavy to regenerate at full scale per engine; their
+#: benches run scaled down (the digest check still covers both engines).
+_EXPERIMENT_SCALES = {"fig10": 0.4, "fig11": 0.4, "fig13": 0.4}
+
+#: Columns that are genuine wall-clock measurements: two runs of the
+#: *same* engine differ on them, so the engine cross-check digests the
+#: result with these columns removed (and the notes, which restate the
+#: same numbers as text).
+NONDETERMINISTIC_COLUMNS: dict[str, tuple[str, ...]] = {
+    "fig11": ("wall_time_s",),
+}
+
+
+def deterministic_digest(result) -> str:
+    """``result.digest()`` minus any measured-wall-time content.
+
+    Identical to the plain digest for every experiment without an entry
+    in :data:`NONDETERMINISTIC_COLUMNS`.
+    """
+    dropped = NONDETERMINISTIC_COLUMNS.get(result.experiment_id)
+    if not dropped:
+        return result.digest()
+    payload = result.to_dict()
+    payload["rows"] = [
+        {key: value for key, value in row.items() if key not in dropped}
+        for row in payload["rows"]
+    ]
+    payload["notes"] = []
+    return spec_digest(payload)
+
+_EXPERIMENTS_REGISTERED = False
+
+
+def _experiment_bench(
+    experiment_id: str, scale: float | None = None
+) -> Callable:
+    def make():
+        from ..experiments import common as experiments_common
+        from ..experiments.registry import run_experiment
+        from ..runner import cache as result_cache
+
+        effective_scale = (
+            _EXPERIMENT_SCALES.get(experiment_id, 1.0)
+            if scale is None
+            else scale
+        )
+
+        def work(engine: str):
+            # a real regeneration: no disk cache, no family memoization
+            # left over from the other engine's run
+            result_cache.deactivate()
+            experiments_common._FAMILY_CACHE.clear()
+            return run_experiment(experiment_id, scale=effective_scale)
+
+        def summarize(result) -> dict:
+            return {
+                "digest": deterministic_digest(result),
+                "rows": len(result.rows),
+                "scale": effective_scale,
+            }
+
+        return work, summarize
+
+    return make
+
+
+def experiment_bench(
+    experiment_id: str, scale: float | None = None
+) -> BenchSpec:
+    """An unregistered :class:`BenchSpec` regenerating one experiment.
+
+    The ``benchmarks/bench_<id>.py`` script shims use this to run the
+    exact harness ``repro bench`` runs, but at a caller-chosen ``scale``
+    (``None`` keeps the registry's per-experiment default).
+    """
+    return BenchSpec(
+        name=f"experiment.{experiment_id}",
+        tags=("experiment", experiment_id),
+        make=_experiment_bench(experiment_id, scale),
+    )
+
+
+def _register_experiment_benches() -> None:
+    """Register ``experiment.<id>`` benches for every known experiment.
+
+    Deferred: importing the experiment registry pulls in every
+    experiment module, which the component benches do not need.
+    """
+    global _EXPERIMENTS_REGISTERED
+    if _EXPERIMENTS_REGISTERED:
+        return
+    _EXPERIMENTS_REGISTERED = True
+    from ..experiments.registry import experiment_ids
+
+    for experiment_id in experiment_ids():
+        register(f"experiment.{experiment_id}", "experiment", experiment_id)(
+            _experiment_bench(experiment_id)
+        )
+
+
+__all__ = [
+    "FORMAT_KEY",
+    "FORMAT_VERSION",
+    "BenchSpec",
+    "NONDETERMINISTIC_COLUMNS",
+    "bench_names",
+    "deterministic_digest",
+    "experiment_bench",
+    "min_speedup",
+    "register",
+    "run_bench",
+    "run_benches",
+    "write_payload",
+]

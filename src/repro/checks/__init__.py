@@ -9,7 +9,8 @@ Two halves:
   (:mod:`.rules_registry`), RPR005 float equality
   (:mod:`.rules_floats`), RPR006 scenario-layer boundary
   (:mod:`.rules_scenario`), RPR007 exception swallowing
-  (:mod:`.rules_resilience`);
+  (:mod:`.rules_resilience`), RPR008 engine-seam bypass
+  (:mod:`.rules_engine_seam`);
 - declarative invariant validators for data artifacts
   (:mod:`.invariants`): platform specs (RPR101), curve families
   (RPR102), run manifests (RPR103), scenario files (RPR104) and
@@ -38,6 +39,7 @@ from .engine import (
 # Importing the rule modules populates RULE_CLASSES as a side effect —
 # same pattern as the experiment registry.
 from . import rules_determinism  # noqa: F401
+from . import rules_engine_seam  # noqa: F401
 from . import rules_floats  # noqa: F401
 from . import rules_hotpath  # noqa: F401
 from . import rules_registry  # noqa: F401

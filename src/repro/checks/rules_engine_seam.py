@@ -1,0 +1,73 @@
+"""RPR008 — experiments must go through the engine seam.
+
+The engine layer (:mod:`repro.engine`) makes ``engine="reference"`` /
+``engine="vectorized"`` a property of the *run*: the batched fast paths
+dispatch inside ``characterize_model``, ``drive_fixed_rate`` and the
+``frfcfs_replay`` helper, and the scenario/runner plumbing activates the
+selected engine around every unit of work. That only holds if
+experiment modules drive simulation through those seams — a
+``MessMemorySimulator(...)`` constructed and hand-looped inside an
+experiment executes scalar code no matter what engine the user
+selected, silently pinning that figure to the reference path.
+
+This rule forbids, inside ``repro/experiments`` (tests excluded),
+direct calls to the simulation-object constructors the engine seam
+wraps::
+
+    MessMemorySimulator, DramController, Engine, Core, SingleServerQueue
+
+Experiments obtain these through ``build_memory("mess", ...)`` /
+``scenario.materialize()`` and drive them with the engine-aware
+helpers (``repro.engine.mess.drive_fixed_rate``,
+``repro.engine.dram.frfcfs_replay``). Passing a *class* as a probe
+factory (``characterize_model(OptaneModel, ...)``) is not a call and
+stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileContext, Rule, dotted_name, register_rule
+
+#: Simulation objects the engine seam owns; experiments reach them
+#: through build_memory/materialize and the engine-aware drivers.
+_FORBIDDEN_CONSTRUCTORS = frozenset(
+    {
+        "MessMemorySimulator",
+        "DramController",
+        "Engine",
+        "Core",
+        "SingleServerQueue",
+    }
+)
+
+
+@register_rule
+class EngineSeamRule(Rule):
+    rule_id = "RPR008"
+    title = "experiment bypasses the engine seam"
+    hint = (
+        "experiments build simulators through build_memory/"
+        "scenario.materialize and drive them through the engine-aware "
+        "helpers (repro.engine.mess.drive_fixed_rate, "
+        "repro.engine.dram.frfcfs_replay); a hand-constructed simulator "
+        "loop pins the figure to the scalar reference path regardless "
+        "of the selected engine"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "experiments" in ctx.parts and "tests" not in ctx.parts
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            final = name.rsplit(".", 1)[-1]
+            if final in _FORBIDDEN_CONSTRUCTORS:
+                self.report(
+                    node,
+                    f"direct {final}(...) call in an experiment module; "
+                    "go through the engine seam (build_memory + "
+                    "repro.engine drivers)",
+                )
+        self.generic_visit(node)

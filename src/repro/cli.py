@@ -9,7 +9,7 @@ Commands
 ``list``
     Show every registered experiment with its title, tags and cost.
 ``run [EXPERIMENT ...] [--scenario FILE|PRESET] [--all] [--jobs N]
-[--scale S] [--opt K=V] [--cache-dir DIR] [--no-cache]
+[--scale S] [--opt K=V] [--engine NAME] [--cache-dir DIR] [--no-cache]
 [--manifest PATH] [--csv PATH] [--trace PATH] [--metrics PATH]
 [--retries N] [--deadline S] [--resume MANIFEST] [--inject-faults PLAN]``
     Run one or many experiments and/or scenarios — in parallel with
@@ -29,8 +29,12 @@ Commands
     terminating hung workers; ``--resume`` re-executes only what a
     previous run's manifest records as unfinished and rewrites the
     merged checkpoint; ``--inject-faults`` activates a fault-plan JSON
-    file for chaos testing. On partial failure the exit code is 1 and
-    a per-failure-class summary goes to stderr.
+    file for chaos testing. ``--engine`` selects the execution engine
+    (``reference`` or ``vectorized`` — bit-identical results; see
+    :mod:`repro.engine`), overriding any scenario-file ``engine``
+    field; ``--opt engine=vectorized`` works as a dotted-path override
+    too. On partial failure the exit code is 1 and a per-failure-class
+    summary goes to stderr.
 ``scenario {list,show,validate,digest} [SCENARIO ...] [--scale S]``
     Work with declarative scenarios: list the named presets, show a
     preset or file as canonical JSON, validate scenario files (exit 1
@@ -47,15 +51,25 @@ Commands
 [PATH ...]``
     Run the project-specific static-analysis pass (unit safety,
     determinism, telemetry hot path, registry hygiene, float equality,
-    scenario-layer boundary; ``.json`` paths are validated as run
-    manifests or — when they carry the ``repro_scenario`` marker — as
-    scenario files). Exits 1 when any finding is reported. Defaults to
-    checking the installed package.
+    scenario-layer boundary, engine-seam bypass; ``.json`` paths are
+    validated as run manifests or — when they carry the
+    ``repro_scenario`` marker — as scenario files). Exits 1 when any
+    finding is reported. Defaults to checking the installed package.
 ``curves <platform> [--csv PATH]``
     Print (and optionally save) a preset platform's curve family.
-``characterize [--cores N] [--channels C] [--preset TIMING]``
+``characterize [--cores N] [--channels C] [--preset TIMING]
+[--engine NAME]``
     Run the Mess benchmark against a fresh cycle-level memory system
     and print the measured family and metrics.
+``bench [--filter NAME|TAG] [--engine reference|vectorized|both]
+[--repeat N] [--json PATH] [--min-speedup X] [--list]``
+    Time registered perf benches (component inner loops plus one
+    ``experiment.<id>`` bench per figure) under the selected engines,
+    cross-check that both engines produced bit-identical results, and
+    report reference/vectorized speedups. ``--json`` writes the
+    ``repro_bench`` payload (the committed ``BENCH_curves.json`` is
+    the perf trajectory of record); ``--min-speedup`` exits 1 when any
+    measured speedup falls below the floor.
 """
 
 from __future__ import annotations
@@ -66,15 +80,15 @@ import sys
 
 from pathlib import Path
 
+from . import engine as engine_mod
 from . import telemetry
-from .bench.harness import MessBenchmark, MessBenchmarkConfig
+from .bench.harness import MessBenchmarkConfig
 from .checks import available_rules, run_checks
 from .core.metrics import compute_metrics
 from .cpu.system import SystemConfig
 from .dram.timing import PRESETS, preset
 from .errors import ConfigurationError, MessError
 from .experiments.registry import SPECS, experiment_ids
-from .memmodels.cycle_accurate import CycleAccurateModel
 from .platforms.presets import (
     TABLE_I_PLATFORMS,
     cxl_expander_family,
@@ -85,6 +99,7 @@ from .platforms.presets import (
 from .resilience import RetryPolicy, load_fault_plan
 from .runner import ResultCache, RunManifest, resume_run, run_many
 from .scenario import (
+    Scenario,
     load_scenario,
     parse_assignments,
     preset_scenario,
@@ -128,7 +143,9 @@ def _parse_options(pairs: list[str]) -> dict:
     try:
         return parse_assignments(pairs)
     except ConfigurationError as exc:
-        raise SystemExit(f"error: --opt {exc}") from exc
+        # usage error, same exit code as the argparse-level ones
+        print(f"error: --opt {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
 
 
 def _resolve_scenario(ref: str, scale: float = 1.0):
@@ -198,7 +215,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     experiment_options = None
     if options:
         if len(ids) == 1 and not scenarios:
-            experiment_options = {ids[0]: options}
+            # `engine` is a scenario field, not an experiment option:
+            # route the dotted override to the same seam as --engine.
+            engine_override = options.pop("engine", None)
+            if engine_override is not None:
+                try:
+                    engine_override = engine_mod.resolve(str(engine_override))
+                except ConfigurationError as exc:
+                    print(f"error: --opt engine: {exc}", file=sys.stderr)
+                    raise SystemExit(2) from exc
+                if args.engine is not None and args.engine != engine_override:
+                    print(
+                        "error: --engine and --opt engine= disagree "
+                        f"({args.engine} vs {engine_override})",
+                        file=sys.stderr,
+                    )
+                    raise SystemExit(2)
+                args.engine = engine_override
+            if options:
+                experiment_options = {ids[0]: options}
         elif len(scenarios) == 1 and not ids:
             # dotted-path overrides on the scenario spec
             scenarios[0] = scenarios[0].with_overrides(options)
@@ -240,6 +275,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         deadline_s=args.deadline,
         retry=retry,
         fault_plan=fault_plan,
+        engine=args.engine,
     )
     for label in labels:
         result = outcome.results.get(label)
@@ -312,6 +348,7 @@ def _run_resume(args: argparse.Namespace) -> int:
         deadline_s=args.deadline,
         retry=retry,
         fault_plan=fault_plan,
+        engine=args.engine,
     )
     for label in sorted(outcome.results):
         print()
@@ -443,6 +480,56 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import perf
+
+    if args.list:
+        for name in perf.bench_names(args.filter):
+            print(f"{name:40s} [{', '.join(perf._REGISTRY[name].tags)}]")
+        return 0
+    engines = (
+        list(engine_mod.ENGINE_NAMES) if args.engine == "both" else [args.engine]
+    )
+
+    def progress(entry: dict) -> None:
+        times = entry["engine_times_s"]
+        timing = "  ".join(
+            f"{engine}={elapsed:.3f}s" for engine, elapsed in times.items()
+        )
+        speedup = (
+            f"  speedup={entry['speedup']:.1f}x" if "speedup" in entry else ""
+        )
+        print(f"{entry['name']:40s} {timing}{speedup}", flush=True)
+
+    payload = perf.run_benches(
+        filter=args.filter,
+        engines=engines,
+        repeat=args.repeat,
+        progress=progress,
+    )
+    if args.json:
+        perf.write_payload(payload, args.json)
+        print(f"bench payload written to {args.json}")
+    floor = args.min_speedup
+    if floor is not None:
+        worst = perf.min_speedup(payload)
+        if worst is None:
+            print(
+                "error: --min-speedup needs both engines timed",
+                file=sys.stderr,
+            )
+            return 2
+        if worst < floor:
+            print(
+                f"error: minimum speedup {worst:.2f}x is below the "
+                f"{floor:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"minimum speedup {worst:.2f}x (floor {floor:.2f}x)")
+    return 0
+
+
 def _cmd_curves(args: argparse.Namespace) -> int:
     families = _platform_families()
     if args.platform not in families:
@@ -473,21 +560,32 @@ def _cmd_curves(args: argparse.Namespace) -> int:
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     timing = preset(args.preset)
-    bench = MessBenchmark(
-        system_config=SystemConfig(cores=args.cores),
-        memory_factory=lambda: CycleAccurateModel(
-            timing, channels=args.channels, write_queue_depth=48
-        ),
-        config=MessBenchmarkConfig(
+    # declared as a scenario so the CLI goes through the same
+    # materialization seam as every experiment (no direct harness
+    # construction here)
+    scenario = Scenario(
+        name=f"{timing.name}x{args.channels}",
+        memory={
+            "kind": "cycle-accurate",
+            "params": {
+                "timing": args.preset,
+                "channels": args.channels,
+                "write_queue_depth": 48,
+            },
+        },
+        system=SystemConfig(cores=args.cores),
+        sweep=MessBenchmarkConfig(
             store_fractions=(0.0, 0.5, 1.0),
             nop_counts=(0, 150, 600, 3000),
             warmup_ns=4000.0,
             measure_ns=10_000.0,
         ),
-        name=f"{timing.name}x{args.channels}",
         theoretical_bandwidth_gbps=timing.channel_peak_gbps * args.channels,
+        engine=engine_mod.resolve(args.engine),
     )
-    curves = bench.run()
+    bench = scenario.materialize().benchmark()
+    with engine_mod.using(scenario.engine):
+        curves = bench.run()
     metrics = compute_metrics(curves)
     for point in bench.points:
         print(
@@ -539,6 +637,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument(
+        "--engine",
+        choices=engine_mod.ENGINE_NAMES,
+        default=None,
+        help=(
+            "execution engine: 'reference' (scalar, default) or "
+            "'vectorized' (batched numpy, bit-identical results); "
+            "overrides the engine field of selected scenarios"
+        ),
+    )
     run_parser.add_argument(
         "--scenario",
         action="append",
@@ -695,6 +803,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_parser.set_defaults(func=_cmd_scenario)
 
+    bench_parser = commands.add_parser(
+        "bench",
+        help="time registered perf benches under both engines",
+    )
+    bench_parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTR",
+        help="run benches whose name or tag matches (e.g. 'curves')",
+    )
+    bench_parser.add_argument(
+        "--engine",
+        choices=("reference", "vectorized", "both"),
+        default="both",
+        help="engine(s) to time (default: both, reporting the speedup)",
+    )
+    bench_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="timing repetitions per engine; best-of-N is reported",
+    )
+    bench_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the bench payload (see repro.bench.perf) to PATH",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if any bench's vectorized speedup is below X",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true", help="list matching benches and exit"
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+
     curves_parser = commands.add_parser(
         "curves", help="print a preset platform's curve family"
     )
@@ -710,6 +859,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     char_parser.add_argument("--channels", type=int, default=3)
     char_parser.add_argument("--cores", type=int, default=8)
+    char_parser.add_argument(
+        "--engine", choices=engine_mod.ENGINE_NAMES, default=None
+    )
     char_parser.add_argument("--csv", default=None)
     char_parser.set_defaults(func=_cmd_characterize)
     return parser

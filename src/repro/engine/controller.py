@@ -1,0 +1,92 @@
+"""Batched PI-controller windows (bit-exact with the scalar controller).
+
+The Mess feedback loop runs one :meth:`PIController.update` per
+simulation window. The recurrence is sequential by nature — each
+window's estimate feeds the next — so "batched" here means two things:
+
+- :func:`controller_trajectory` consumes a whole *array* of window
+  observations at once and returns the full estimate trajectory,
+  computing each step with exactly the scalar controller's arithmetic
+  (same expression, same evaluation order, same NaN-hold and
+  anti-windup clamps). The hypothesis equivalence suite checks it
+  against :class:`PIController` step-for-step.
+- :func:`window_bandwidths` reduces per-request windows to their
+  observed bandwidths in one vectorized pass (integer byte sums via
+  ``np.add.reduceat`` are exact; the per-window division matches the
+  scalar ``bytes / elapsed``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.controller import PIController
+
+
+def controller_trajectory(
+    observations: np.ndarray,
+    estimate: float = 0.0,
+    convergence_factor: float = 0.5,
+    integral_gain: float = 0.0,
+    integral_limit: float = 1e6,
+) -> np.ndarray:
+    """Estimate after each observation, matching ``PIController.update``.
+
+    ``out[i]`` is the estimate the scalar controller would return for
+    ``observations[i]`` when stepped through the array in order from
+    ``estimate``. The loop is sequential (the recurrence is), but the
+    I/O is batched and each step is the scalar arithmetic verbatim, so
+    results agree bit-for-bit with a fresh ``PIController``.
+    """
+    # parameter validation lives in one place: the scalar dataclass
+    PIController(
+        convergence_factor=convergence_factor,
+        integral_gain=integral_gain,
+        integral_limit=integral_limit,
+    )
+    obs = np.asarray(observations, dtype=float)
+    out = np.empty(obs.size, dtype=float)
+    est = float(estimate)
+    integral = 0.0
+    for index in range(obs.size):
+        observed = float(obs[index])
+        error = observed - est
+        if not math.isfinite(error):
+            out[index] = est
+            continue
+        integral = max(-integral_limit, min(integral_limit, integral + error))
+        est = est + convergence_factor * error + integral_gain * integral
+        out[index] = est
+    return out
+
+
+def window_bandwidths(
+    issue_times_ns: np.ndarray,
+    bytes_per_op: int,
+    window_ops: int,
+) -> np.ndarray:
+    """Observed ``cpuBW`` of each complete window of a request stream.
+
+    Matches the scalar window bookkeeping: a window's bandwidth is its
+    byte total over the span from its first to its last issue time
+    (``bytes / elapsed``, bytes/ns == GB/s). Windows with a
+    non-positive span get ``nan`` — the scalar loop treats those as
+    degenerate and holds the controller, which is what feeding ``nan``
+    to :func:`controller_trajectory` does too.
+    """
+    t = np.asarray(issue_times_ns, dtype=float)
+    complete = t.size // window_ops
+    if complete == 0:
+        return np.empty(0, dtype=float)
+    starts = t[: complete * window_ops : window_ops]
+    ends = t[window_ops - 1 : complete * window_ops : window_ops]
+    elapsed = ends - starts
+    total = float(bytes_per_op * window_ops)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bw = np.where(elapsed > 0, total / elapsed, np.nan)
+    return bw
+
+
+__all__ = ["controller_trajectory", "window_bandwidths"]

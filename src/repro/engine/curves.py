@@ -1,0 +1,112 @@
+"""Batched curve-family interpolation (bit-exact with the scalar path).
+
+:meth:`BandwidthLatencyCurve.latency_at` answers one bandwidth at a
+time; a full curve-family characterization or stress-score sweep asks
+the same curve thousands of times. These helpers answer whole arrays in
+one numpy call while reproducing the scalar results bit-for-bit:
+
+- ``np.interp`` over an array equals the per-element scalar
+  ``np.interp`` calls (same piecewise-linear arithmetic per element);
+- the saturation plateau (``bw >= ascending_bw[-1]`` answers the
+  curve's max latency) is applied with the same comparison;
+- the family blend ``(1 - w) * lo + w * hi`` is elementwise IEEE
+  arithmetic, identical to the scalar expression per element, and the
+  ``w == 0.0`` boundary short-circuit is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.curve import BandwidthLatencyCurve
+from ..core.family import CurveFamily
+from ..errors import CurveError
+
+
+def curve_latency_batch(
+    curve: BandwidthLatencyCurve, bandwidth_gbps: np.ndarray
+) -> np.ndarray:
+    """Vector of ``curve.latency_at(bw)`` for every ``bw`` in the input."""
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    if bw.size and float(np.min(bw)) < 0:
+        raise CurveError("bandwidth must be non-negative")
+    asc_bw, asc_lat = curve._ascending()
+    out = np.interp(bw, asc_bw, asc_lat)
+    out[bw >= asc_bw[-1]] = curve.max_latency_ns
+    return out
+
+
+def family_latency_batch(
+    family: CurveFamily,
+    bandwidth_gbps: np.ndarray,
+    read_ratio: float,
+    interpolate: bool = True,
+) -> np.ndarray:
+    """Vector of ``family.latency_at(bw, read_ratio)`` over an array."""
+    if not 0.0 <= read_ratio <= 1.0:
+        raise CurveError(f"read_ratio must be in [0, 1], got {read_ratio}")
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    if not interpolate:
+        return curve_latency_batch(family.nearest(read_ratio), bw)
+    lo, hi, w = family._bracketing(read_ratio)
+    if w == 0.0:
+        return curve_latency_batch(lo, bw)
+    return (1.0 - w) * curve_latency_batch(lo, bw) + w * curve_latency_batch(
+        hi, bw
+    )
+
+
+def family_latency_grid(
+    family: CurveFamily,
+    bandwidth_gbps: np.ndarray,
+    read_ratios: np.ndarray,
+) -> np.ndarray:
+    """Latency surface: rows are read ratios, columns bandwidths.
+
+    Equivalent to the double scalar loop over
+    ``family.latency_at(bw, ratio)`` — the hot query pattern of the
+    stress-score profiler and the curve-comparison analyses.
+    """
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    ratios = np.asarray(read_ratios, dtype=float)
+    out = np.empty((ratios.size, bw.size), dtype=float)
+    for row, ratio in enumerate(ratios):
+        out[row] = family_latency_batch(family, bw, float(ratio))
+    return out
+
+
+def curve_inclination_batch(
+    curve: BandwidthLatencyCurve,
+    bandwidth_gbps: np.ndarray,
+    delta_gbps: float = 1.0,
+) -> np.ndarray:
+    """Vector of ``curve.inclination_at(bw)`` over an array."""
+    if delta_gbps <= 0:
+        raise CurveError(f"delta_gbps must be positive, got {delta_gbps}")
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    lo = np.maximum(0.0, bw - delta_gbps)
+    hi = bw + delta_gbps
+    span = hi - lo
+    return (curve_latency_batch(curve, hi) - curve_latency_batch(curve, lo)) / span
+
+
+def family_inclination_batch(
+    family: CurveFamily, bandwidth_gbps: np.ndarray, read_ratio: float
+) -> np.ndarray:
+    """Vector of ``family.inclination_at(bw, read_ratio)`` over an array."""
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    lo, hi, w = family._bracketing(read_ratio)
+    if w == 0.0:
+        return curve_inclination_batch(lo, bw)
+    return (1.0 - w) * curve_inclination_batch(lo, bw) + w * (
+        curve_inclination_batch(hi, bw)
+    )
+
+
+__all__ = [
+    "curve_inclination_batch",
+    "curve_latency_batch",
+    "family_inclination_batch",
+    "family_latency_batch",
+    "family_latency_grid",
+]

@@ -13,12 +13,12 @@ Six studies, each a block of rows distinguished by the ``study`` column:
 from __future__ import annotations
 
 from ..core.simulator import MessMemorySimulator
-from ..dram.controller import DramController
 from ..dram.timing import DDR4_2666
-from ..memmodels.base import AccessType, MemoryRequest
+from ..engine.dram import frfcfs_replay
+from ..engine.mess import drive_fixed_rate
 from ..platforms.presets import INTEL_SKYLAKE, family
 from ..scenario import build_memory
-from ..traces.driver import replay_trace, replay_trace_frfcfs, synthesize_mess_trace
+from ..traces.driver import replay_trace, synthesize_mess_trace
 from .base import ExperimentResult, scaled
 from .registry import register
 
@@ -34,19 +34,12 @@ def _drive_simulator(
     """Open-loop drive at a fixed rate; returns (windows to settle, final bw).
 
     Settling is the first window whose estimate is within 5% of the
-    offered bandwidth (64 bytes / gap).
+    offered bandwidth (64 bytes / gap). The drive goes through the
+    engine seam: window-batched under the vectorized engine,
+    request-at-a-time (bit-identically) under the reference engine.
     """
     simulator.keep_history = True
-    now = 0.0
-    for index in range(ops):
-        simulator.access(
-            MemoryRequest(
-                address=(index % 65536) * 64,
-                access_type=AccessType.READ,
-                issue_time_ns=now,
-            )
-        )
-        now += gap_ns
+    drive_fixed_rate(simulator, gap_ns, ops)
     offered = 64.0 / gap_ns
     settle = len(simulator.history)
     for record in simulator.history:
@@ -71,8 +64,13 @@ def run(scale: float = 1.0) -> ExperimentResult:
 
     # 1. convergence factor --------------------------------------------------
     for factor in (0.1, 0.25, 0.5, 0.75, 1.0):
-        simulator = MessMemorySimulator(
-            skylake, convergence_factor=factor, keep_history=True
+        simulator = build_memory(
+            "mess",
+            {
+                "curves": skylake,
+                "convergence_factor": factor,
+                "keep_history": True,
+            },
         )
         settle, final = _drive_simulator(simulator, gap_ns=1.0, ops=ops)
         result.add(
@@ -90,8 +88,9 @@ def run(scale: float = 1.0) -> ExperimentResult:
 
     # 2. window length -------------------------------------------------------
     for window in (100, 300, 1000, 3000):
-        simulator = MessMemorySimulator(
-            skylake, window_ops=window, keep_history=True
+        simulator = build_memory(
+            "mess",
+            {"curves": skylake, "window_ops": window, "keep_history": True},
         )
         settle, final = _drive_simulator(simulator, gap_ns=1.0, ops=ops)
         result.add(
@@ -125,8 +124,7 @@ def run(scale: float = 1.0) -> ExperimentResult:
     )
     fcfs_model = build_memory("cycle-accurate", _SUBSTRATE)
     fcfs = replay_trace(fcfs_model, trace)
-    frfcfs_controller = DramController(DDR4_2666, channels=6)
-    frfcfs = replay_trace_frfcfs(frfcfs_controller, trace, window=16)
+    frfcfs = frfcfs_replay(DDR4_2666, 6, trace, window=16)
     result.add(
         study="scheduling", setting="fcfs", metric="bandwidth_gbps",
         value=fcfs.bandwidth_gbps,

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from ..analysis.compare import compare_families
 from ..bench.model_probe import ProbeConfig, characterize_model
-from ..core.simulator import MessMemorySimulator
+from ..engine.mess import drive_fixed_rate
 from ..memmodels.optane import OptaneModel
 from ..platforms.presets import optane_family
-from ..request import AccessType, MemoryRequest
+from ..scenario import build_memory
 from .base import ExperimentResult, scaled
 from .registry import register
 
@@ -67,13 +67,12 @@ def run(scale: float = 1.0) -> ExperimentResult:
         f"error {comparison.saturated_bw_error_pct:.0f}%"
     )
     # drive the Mess simulator with the curves at a modest fixed rate
-    simulator = MessMemorySimulator(preset, keep_history=True, window_ops=250)
-    now = 0.0
-    for index in range(scaled(6000, scale)):
-        simulator.access(
-            MemoryRequest((index % 8192) * 64, AccessType.READ, now)
-        )
-        now += 8.0  # offered 8 GB/s against a ~13 GB/s device
+    # (offered 8 GB/s of reads against a ~13 GB/s device)
+    simulator = build_memory(
+        "mess",
+        {"curves": preset, "keep_history": True, "window_ops": 250},
+    )
+    drive_fixed_rate(simulator, 8.0, scaled(6000, scale), address_lines=8192)
     final = simulator.history[-1]
     result.note(
         f"Mess simulator on the Optane curves converges to "

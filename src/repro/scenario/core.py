@@ -31,6 +31,7 @@ import json
 from pathlib import Path
 from typing import Callable, Mapping
 
+from .. import engine as engine_mod
 from ..bench.harness import MessBenchmark, MessBenchmarkConfig
 from ..core.family import CurveFamily
 from ..cpu.system import System, SystemConfig
@@ -70,6 +71,11 @@ class Scenario:
     memory: Mapping | None = None
     sweep: MessBenchmarkConfig | None = None
     theoretical_bandwidth_gbps: float | None = None
+    #: Execution engine (see :mod:`repro.engine`): ``"reference"`` or
+    #: ``"vectorized"``. Both produce bit-identical results; the spec
+    #: only records a non-default choice, so existing digests are
+    #: unchanged.
+    engine: str = engine_mod.DEFAULT_ENGINE
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -111,6 +117,8 @@ class Scenario:
             spec["theoretical_bandwidth_gbps"] = float(
                 self.theoretical_bandwidth_gbps
             )
+        if self.engine != engine_mod.DEFAULT_ENGINE:
+            spec["engine"] = self.engine
         return spec
 
     def digest(self) -> str:
@@ -151,6 +159,7 @@ class Scenario:
             "memory",
             "sweep",
             "theoretical_bandwidth_gbps",
+            "engine",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -173,6 +182,9 @@ class Scenario:
             raise ConfigurationError(
                 f"{where}.theoretical_bandwidth_gbps: expected a number"
             )
+        engine_name = payload.get("engine", engine_mod.DEFAULT_ENGINE)
+        if not isinstance(engine_name, str):
+            raise ConfigurationError(f"{where}.engine: expected a string")
         if memory is not None:
             if not isinstance(memory, Mapping) or "kind" not in memory:
                 raise ConfigurationError(
@@ -200,6 +212,7 @@ class Scenario:
             theoretical_bandwidth_gbps=(
                 float(theoretical) if theoretical is not None else None
             ),
+            engine=engine_name,
             description=str(payload.get("description", "")),
         )
         problems = scenario.validate()
@@ -213,11 +226,13 @@ class Scenario:
         experiment_id: str,
         scale: float = 1.0,
         options: Mapping | None = None,
+        engine: str | None = None,
     ) -> "Scenario":
         """The scenario describing one registered-experiment run.
 
         This is what the runner digests to key the result cache: the
-        experiment id, the scale and the full option set, nothing else.
+        experiment id, the scale, the full option set and (when
+        non-default) the engine, nothing else.
         """
         return cls(
             name=f"experiment:{experiment_id}",
@@ -227,6 +242,7 @@ class Scenario:
                 "scale": float(scale),
                 "options": dict(options or {}),
             },
+            engine=engine_mod.resolve(engine),
         )
 
     def with_overrides(self, assignments: Mapping[str, object]) -> "Scenario":
@@ -249,6 +265,11 @@ class Scenario:
         problems: list[str] = []
         if not self.name:
             problems.append("name: must be non-empty")
+        if self.engine not in engine_mod.ENGINE_NAMES:
+            problems.append(
+                f"engine: expected one of {list(engine_mod.ENGINE_NAMES)}, "
+                f"got {self.engine!r}"
+            )
         kind = self.workload_kind
         if kind not in _WORKLOAD_KINDS:
             problems.append(
@@ -365,7 +386,10 @@ class Scenario:
 
         Characterize scenarios run the Mess benchmark (through the
         characterization cache when one is active) and tabulate the
-        family; experiment scenarios delegate to the registry.
+        family; experiment scenarios delegate to the registry. Either
+        way the scenario's engine is active for the duration, so the
+        ``engine`` field is authoritative for everything run through
+        here.
         """
         # lazy: experiments.base -> telemetry only, but the registry
         # pulls in every experiment module
@@ -374,12 +398,14 @@ class Scenario:
 
         if self.workload_kind == "experiment":
             options = dict(self.workload.get("options", {}))
-            return registry.run_experiment(
-                str(self.workload.get("experiment_id")),
-                scale=float(self.workload.get("scale", 1.0)),
-                **options,
-            )
-        family = self.materialize().benchmark().run()
+            with engine_mod.using(self.engine):
+                return registry.run_experiment(
+                    str(self.workload.get("experiment_id")),
+                    scale=float(self.workload.get("scale", 1.0)),
+                    **options,
+                )
+        with engine_mod.using(self.engine):
+            family = self.materialize().benchmark().run()
         result = ExperimentResult(
             experiment_id=f"scenario:{self.name}",
             title=self.description or f"Scenario {self.name}",
@@ -410,14 +436,17 @@ class MaterializedScenario:
         The characterization cache key is the scenario digest — one
         identity from the file all the way to the cache entry.
         """
-        return MessBenchmark(
-            system_config=self.system_config,
-            memory_factory=self.memory_factory,
-            config=self.sweep,
-            name=self.scenario.name,
-            theoretical_bandwidth_gbps=self.theoretical_bandwidth_gbps,
-            cache_key=f"scenario:{self.scenario.digest()}",
-        )
+        from ..bench import harness as harness_mod
+
+        with harness_mod._sanctioned_construction():
+            return MessBenchmark(
+                system_config=self.system_config,
+                memory_factory=self.memory_factory,
+                config=self.sweep,
+                name=self.scenario.name,
+                theoretical_bandwidth_gbps=self.theoretical_bandwidth_gbps,
+                cache_key=f"scenario:{self.scenario.digest()}",
+            )
 
     def characterize(self) -> CurveFamily:
         """Run the benchmark and return the measured curve family."""

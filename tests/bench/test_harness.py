@@ -12,6 +12,12 @@ from repro.dram.timing import DDR4_2666
 from repro.runner import cache as result_cache
 from repro.runner.cache import ResultCache
 
+# The harness's own tests exercise MessBenchmark directly on purpose;
+# the deprecation test below still sees the warning via pytest.warns.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:constructing MessBenchmark directly:DeprecationWarning"
+)
+
 
 @pytest.fixture
 def tiny_sweep():
@@ -171,3 +177,28 @@ class TestCharacterizationCache:
             assert recomputed.to_dict() == family.to_dict()
         finally:
             result_cache.deactivate()
+
+
+class TestConstructionDeprecation:
+    def test_direct_construction_warns(self, tiny_system_config, tiny_sweep):
+        with pytest.warns(DeprecationWarning, match="Scenario.materialize"):
+            MessBenchmark(
+                system_config=tiny_system_config,
+                memory_factory=lambda: FixedLatencyModel(50.0),
+                config=tiny_sweep,
+            )
+
+    def test_scenario_route_is_silent(self):
+        import warnings
+
+        from repro.scenario import Scenario
+
+        scenario = Scenario.for_experiment("fig17")
+        materialized = Scenario(
+            name="t",
+            memory={"kind": "fixed-latency", "params": {"latency_ns": 50.0}},
+        ).materialize()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            materialized.benchmark()
+        del scenario

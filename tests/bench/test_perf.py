@@ -1,0 +1,140 @@
+"""The perf-bench harness: registry, timing contract, payload schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import perf
+from repro.errors import BenchmarkError, ConfigurationError
+from repro.experiments.base import ExperimentResult
+
+
+def _constant_spec(name="t.constant", payload="same"):
+    def make():
+        def work(engine):
+            return payload
+
+        def summarize(result):
+            return {"digest": result}
+
+        return work, summarize
+
+    return perf.BenchSpec(name=name, tags=("t",), make=make)
+
+
+class TestRunBench:
+    def test_times_both_engines_and_reports_speedup(self):
+        entry = perf.run_bench(_constant_spec())
+        assert set(entry["engine_times_s"]) == {"reference", "vectorized"}
+        assert entry["meta"]["digests_match"] is True
+        assert "speedup" in entry
+
+    def test_single_engine_has_no_speedup(self):
+        entry = perf.run_bench(_constant_spec(), engines=("reference",))
+        assert "speedup" not in entry
+        assert list(entry["engine_times_s"]) == ["reference"]
+
+    def test_digest_mismatch_raises(self):
+        def make():
+            def work(engine):
+                return engine  # engine-dependent result: a real bug
+
+            def summarize(result):
+                return {"digest": result}
+
+            return work, summarize
+
+        spec = perf.BenchSpec(name="t.mismatch", tags=(), make=make)
+        with pytest.raises(BenchmarkError, match="disagree"):
+            perf.run_bench(spec)
+
+    def test_rejects_bad_repeat_and_engine(self):
+        with pytest.raises(ConfigurationError):
+            perf.run_bench(_constant_spec(), repeat=0)
+        with pytest.raises(ConfigurationError):
+            perf.run_bench(_constant_spec(), engines=("turbo",))
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        name = "t.duplicate"
+        perf.register(name, "t")(lambda: None)
+        try:
+            with pytest.raises(ConfigurationError, match="duplicate"):
+                perf.register(name)(lambda: None)
+        finally:
+            del perf._REGISTRY[name]
+
+    def test_bench_names_filters_by_substring_and_tag(self):
+        names = perf.bench_names()
+        assert "curves.family_interpolation" in names
+        assert "experiment.fig2" in names
+        assert perf.bench_names("curves") == [
+            name
+            for name in names
+            if "curves" in name or "curves" in perf._REGISTRY[name].tags
+        ]
+        assert "experiment.fig10" in perf.bench_names("fig10")
+
+    def test_run_benches_rejects_empty_filter(self):
+        with pytest.raises(ConfigurationError, match="no benches match"):
+            perf.run_benches(filter="no-such-bench")
+
+    def test_experiment_bench_scale_override(self):
+        spec = perf.experiment_bench("fig17", scale=0.5)
+        work, summarize = spec.make()
+        result = work("reference")
+        meta = summarize(result)
+        assert meta["scale"] == 0.5
+        assert meta["rows"] == len(result.rows)
+
+
+class TestPayload:
+    def test_write_payload_round_trips(self, tmp_path):
+        import json
+
+        payload = {
+            perf.FORMAT_KEY: perf.FORMAT_VERSION,
+            "benches": [perf.run_bench(_constant_spec())],
+        }
+        out = tmp_path / "bench.json"
+        perf.write_payload(payload, out)
+        again = json.loads(out.read_text())
+        assert again[perf.FORMAT_KEY] == perf.FORMAT_VERSION
+        assert again["benches"][0]["name"] == "t.constant"
+
+    def test_min_speedup_selects_tag(self):
+        payload = {
+            "benches": [
+                {"speedup": 12.0, "tags": ["curves"]},
+                {"speedup": 3.0, "tags": ["probe"]},
+                {"tags": ["curves"]},  # no speedup: single-engine entry
+            ]
+        }
+        assert perf.min_speedup(payload) == 3.0
+        assert perf.min_speedup(payload, tag="curves") == 12.0
+        assert perf.min_speedup({"benches": []}) is None
+
+
+class TestDeterministicDigest:
+    def _result(self, wall_time):
+        result = ExperimentResult(
+            experiment_id="fig11",
+            title="t",
+            columns=["model", "wall_time_s"],
+        )
+        result.add(model="fixed", wall_time_s=wall_time)
+        result.note(f"wall time {wall_time:.2f}s")
+        return result
+
+    def test_ignores_declared_wall_time_columns_and_notes(self):
+        assert perf.deterministic_digest(
+            self._result(1.0)
+        ) == perf.deterministic_digest(self._result(2.0))
+
+    def test_plain_digest_for_other_experiments(self):
+        result = ExperimentResult(
+            experiment_id="fig2", title="t", columns=["x"]
+        )
+        result.add(x=1.0)
+        assert perf.deterministic_digest(result) == result.digest()

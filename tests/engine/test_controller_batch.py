@@ -1,0 +1,131 @@
+"""Batched PI-controller windows vs the scalar controller, bit-for-bit.
+
+:func:`repro.engine.controller.controller_trajectory` claims exact
+(not approximate) agreement with stepping a fresh
+:class:`repro.core.controller.PIController` through the same
+observations. Hypothesis drives random gains and random observation
+streams — including NaN/inf windows, which must *hold* the estimate —
+and the assertion is ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import PIController
+from repro.engine.controller import controller_trajectory, window_bandwidths
+
+finite_bw = st.floats(
+    min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+observation = st.one_of(
+    finite_bw,
+    st.just(float("nan")),
+    st.just(float("inf")),
+)
+
+
+def scalar_trajectory(
+    observations, estimate, convergence_factor, integral_gain, integral_limit
+):
+    controller = PIController(
+        convergence_factor=convergence_factor,
+        integral_gain=integral_gain,
+        integral_limit=integral_limit,
+    )
+    est = estimate
+    out = []
+    for observed in observations:
+        est = controller.update(est, observed)
+        out.append(est)
+    return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    observations=st.lists(observation, min_size=1, max_size=60),
+    estimate=finite_bw,
+    convergence_factor=st.floats(
+        min_value=0.01, max_value=1.0, allow_nan=False
+    ),
+)
+def test_proportional_trajectory_matches_scalar_exactly(
+    observations, estimate, convergence_factor
+):
+    batched = controller_trajectory(
+        np.array(observations),
+        estimate=estimate,
+        convergence_factor=convergence_factor,
+    )
+    scalar = scalar_trajectory(
+        observations, estimate, convergence_factor, 0.0, 1e6
+    )
+    assert batched.tolist() == scalar
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    observations=st.lists(observation, min_size=1, max_size=60),
+    estimate=finite_bw,
+    convergence_factor=st.floats(
+        min_value=0.01, max_value=1.0, allow_nan=False
+    ),
+    integral_gain=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    integral_limit=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+)
+def test_full_pi_trajectory_matches_scalar_exactly(
+    observations, estimate, convergence_factor, integral_gain, integral_limit
+):
+    batched = controller_trajectory(
+        np.array(observations),
+        estimate=estimate,
+        convergence_factor=convergence_factor,
+        integral_gain=integral_gain,
+        integral_limit=integral_limit,
+    )
+    scalar = scalar_trajectory(
+        observations, estimate, convergence_factor, integral_gain,
+        integral_limit,
+    )
+    assert batched.tolist() == scalar
+
+
+def test_rejects_invalid_gains_like_the_scalar_controller():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        controller_trajectory(np.array([1.0]), convergence_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        controller_trajectory(np.array([1.0]), integral_gain=-1.0)
+
+
+class TestWindowBandwidths:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        window_ops=st.integers(min_value=1, max_value=32),
+    )
+    def test_matches_scalar_window_bookkeeping(self, gaps, window_ops):
+        times = np.cumsum(np.array(gaps, dtype=float))
+        batched = window_bandwidths(times, 64, window_ops)
+        complete = len(gaps) // window_ops
+        assert batched.size == complete
+        for index in range(complete):
+            window = times[index * window_ops : (index + 1) * window_ops]
+            elapsed = float(window[-1]) - float(window[0])
+            expected = (
+                64.0 * window_ops / elapsed if elapsed > 0 else float("nan")
+            )
+            got = float(batched[index])
+            assert got == expected or (
+                np.isnan(got) and np.isnan(expected)
+            )
+
+    def test_incomplete_stream_yields_no_windows(self):
+        assert window_bandwidths(np.array([0.0, 1.0]), 64, 3).size == 0
