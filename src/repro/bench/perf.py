@@ -313,6 +313,49 @@ def _bench_mess_drive():
     return work, summarize
 
 
+@register("serve.loadgen", "serve")
+def _bench_serve_loadgen():
+    """The characterization service under a replayable request load.
+
+    Boots an in-process HTTP server on a fresh in-memory backend and
+    replays the deterministic loadgen schedule through real sockets —
+    miss/coalesce/compute on pass one, cache-serving on pass two. The
+    digest covers the served result *rows* (engine-independent), so
+    the harness's cross-engine check doubles as proof that a served
+    characterization equals a locally-computed one under either
+    engine. The meta records the hit-ratio and p99 trajectories —
+    the serving-path perf numbers ``BENCH_serve.json`` tracks.
+    """
+    from ..serve.loadgen import LoadgenConfig, run_loadgen
+
+    config = dict(
+        scenarios=3,
+        requests=36,
+        clients=6,
+        passes=2,
+        backend="memory",
+        max_inflight=4,
+    )
+
+    def work(engine: str):
+        return run_loadgen(LoadgenConfig(engine=engine, **config))
+
+    def summarize(report) -> dict:
+        final = report["passes"][-1]
+        return {
+            "digest": spec_digest(report["row_digests"]),
+            "requests": sum(p["requests"] for p in report["passes"]),
+            "errors": sum(p["errors"] for p in report["passes"]),
+            "hit_ratio_trajectory": report["hit_ratio_trajectory"],
+            "p50_ms": final["p50_ms"],
+            "p99_ms": final["p99_ms"],
+            "coalesced": report["passes"][0]["coalesced"],
+            "digest_consistent": report["digest_consistent"],
+        }
+
+    return work, summarize
+
+
 # ----------------------------------------------------------------------
 # Experiment benches: one per paper table/figure
 # ----------------------------------------------------------------------

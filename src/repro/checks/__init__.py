@@ -10,7 +10,8 @@ Two halves:
   (:mod:`.rules_floats`), RPR006 scenario-layer boundary
   (:mod:`.rules_scenario`), RPR007 exception swallowing
   (:mod:`.rules_resilience`), RPR008 engine-seam bypass
-  (:mod:`.rules_engine_seam`);
+  (:mod:`.rules_engine_seam`), RPR009 blocking I/O on the serving
+  event loop (:mod:`.rules_serve`);
 - declarative invariant validators for data artifacts
   (:mod:`.invariants`): platform specs (RPR101), curve families
   (RPR102), run manifests (RPR103), scenario files (RPR104) and
@@ -45,6 +46,7 @@ from . import rules_hotpath  # noqa: F401
 from . import rules_registry  # noqa: F401
 from . import rules_resilience  # noqa: F401
 from . import rules_scenario  # noqa: F401
+from . import rules_serve  # noqa: F401
 from . import rules_units  # noqa: F401
 from .invariants import (
     check_curve_family,

@@ -40,10 +40,15 @@ Commands
     preset or file as canonical JSON, validate scenario files (exit 1
     on problems), or print the stable content digest the cache keys
     on.
-``cache {info,clear} [--cache-dir DIR] [--json]``
-    Inspect or empty the on-disk cache (default ``~/.cache/repro-mess``,
-    overridable via ``$REPRO_CACHE_DIR``). ``info --json`` emits a
-    machine-readable report with a per-entry size breakdown.
+``cache {info,clear} [--cache-dir DIR] [--backend SPEC] [--json]``
+    Inspect or empty the result cache (default ``~/.cache/repro-mess``,
+    overridable via ``$REPRO_CACHE_DIR``). ``info`` reports the backend
+    type, entry/byte totals, digest-shard distribution and quarantined
+    counts uniformly for every backend; ``--backend`` selects a storage
+    backend or comma-separated tier stack (``dir``, ``sqlite``,
+    ``memory``, ``tiered``; see :mod:`repro.serve.backends`). ``info
+    --json`` emits a machine-readable report with a per-entry size
+    breakdown.
 ``telemetry summarize PATH [--json]``
     Roll up an exported telemetry file (Chrome trace or JSONL): span
     durations, counter totals, control-loop sample ranges.
@@ -70,6 +75,25 @@ Commands
     ``repro_bench`` payload (the committed ``BENCH_curves.json`` is
     the perf trajectory of record); ``--min-speedup`` exits 1 when any
     measured speedup falls below the floor.
+``serve [--host H] [--port P] [--backend SPEC] [--cache-dir DIR]
+[--max-inflight N] [--queue-limit N] [--deadline S]``
+    Run the asyncio characterization service (:mod:`repro.serve`):
+    digest-keyed scenario results over HTTP with tiered cache
+    backends, single-flight request coalescing, backpressure (429/503)
+    and per-request deadlines (504). Routes: ``/healthz``,
+    ``/metrics`` (Prometheus), ``/stats``, ``GET /v1/result/<digest>``
+    and ``POST /v1/{characterize,simulate,profile}``. Runs until
+    interrupted.
+``loadgen [--scenarios K] [--requests N] [--clients C] [--passes P]
+[--seed S] [--backend SPEC] [--cache-dir DIR] [--url URL]
+[--json PATH] [--assert-hit-ratio X] [--assert-p99-ms MS]``
+    Replay a deterministic request schedule against a serve endpoint —
+    an in-process server by default, or a running ``repro serve`` via
+    ``--url`` — and report per-pass hit ratios, coalescing counts and
+    p50/p99 latency. ``--assert-hit-ratio`` / ``--assert-p99-ms``
+    gate the final pass (exit 1 on violation; CI's serve-smoke job
+    uses both); result digests are cross-checked against each other
+    and exit 1 on any mismatch.
 """
 
 from __future__ import annotations
@@ -369,15 +393,34 @@ def _run_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
+    backend = None
+    if args.backend:
+        from .serve.backends import make_backend
+
+        backend = make_backend(args.backend, args.cache_dir)
+    cache = ResultCache(args.cache_dir, backend=backend)
+    try:
+        return _run_cache_action(args, cache)
+    finally:
+        cache.close()
+
+
+def _run_cache_action(args: argparse.Namespace, cache: ResultCache) -> int:
     if args.action == "info":
         if args.json:
             print(json.dumps(cache.info(detail=True), indent=2, sort_keys=True))
             return 0
         info = cache.info()
         print(f"cache root: {info['root']}")
+        print(f"backend:    {info['backend']} ({info['location']})")
         print(f"entries:    {info['entries']}")
         print(f"size:       {info['bytes'] / 1e6:.2f} MB")
+        shards = info.get("shards") or {}
+        if shards.get("count"):
+            print(
+                f"shards:     {shards['count']} "
+                f"(max {shards['max']}, mean {shards['mean']:.1f})"
+            )
         for kind, count in sorted(info["kinds"].items()):
             size = info["kind_bytes"].get(kind, 0)
             print(f"  {kind}: {count} ({size / 1e6:.2f} MB)")
@@ -398,6 +441,100 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.http import serve as serve_async
+    from .serve.service import ServiceConfig
+
+    config = ServiceConfig(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+    )
+
+    def ready(server) -> None:
+        print(
+            f"serving on {server.url} (backend {args.backend}, "
+            f"max-inflight {args.max_inflight})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            serve_async(config, host=args.host, port=args.port, ready=ready)
+        )
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        scenarios=args.scenarios,
+        requests=args.requests,
+        clients=args.clients,
+        passes=args.passes,
+        seed=args.seed,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        url=args.url,
+        max_inflight=args.max_inflight,
+    )
+    report = run_loadgen(config)
+    for entry in report["passes"]:
+        print(
+            f"pass {entry['pass']}: {entry['ok']}/{entry['requests']} ok  "
+            f"hit_ratio={entry['hit_ratio']:.2f}  "
+            f"coalesced={entry['coalesced']}  computed={entry['computed']}  "
+            f"p50={entry['p50_ms']:.1f}ms  p99={entry['p99_ms']:.1f}ms",
+            flush=True,
+        )
+        for detail in entry["error_detail"]:
+            print(f"  error: {detail}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"loadgen report written to {args.json}")
+
+    failures = 0
+    if not report["digest_consistent"]:
+        print(
+            "error: served results were not digest-consistent",
+            file=sys.stderr,
+        )
+        failures += 1
+    final = report["passes"][-1]
+    if final["errors"]:
+        print(
+            f"error: final pass had {final['errors']} failed request(s)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if args.assert_hit_ratio is not None and (
+        final["hit_ratio"] < args.assert_hit_ratio
+    ):
+        print(
+            f"error: final-pass hit ratio {final['hit_ratio']:.3f} is below "
+            f"the {args.assert_hit_ratio:.3f} floor",
+            file=sys.stderr,
+        )
+        failures += 1
+    if args.assert_p99_ms is not None and final["p99_ms"] > args.assert_p99_ms:
+        print(
+            f"error: final-pass p99 {final['p99_ms']:.1f} ms exceeds the "
+            f"{args.assert_p99_ms:.1f} ms ceiling",
+            file=sys.stderr,
+        )
+        failures += 1
+    return 1 if failures else 0
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -738,11 +875,152 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="override the on-disk cache location"
     )
     cache_parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "cache backend or comma-separated tier stack: dir, sqlite, "
+            "memory, tiered (default: dir)"
+        ),
+    )
+    cache_parser.add_argument(
         "--json",
         action="store_true",
         help="machine-readable `info` output with per-entry sizes",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve digest-keyed characterizations over HTTP",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8650,
+        help="listen port (default 8650; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="tiered",
+        metavar="SPEC",
+        help=(
+            "cache backend or tier stack: dir, sqlite, memory, tiered "
+            "(default: tiered = memory,dir)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, help="override the on-disk cache location"
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent scenario computations (default 4)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued computations before rejecting with 429 (default 64)",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request deadline; exceeded requests get 504 (default 60)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen_parser = commands.add_parser(
+        "loadgen",
+        help="benchmark a characterization service with a replayable load",
+    )
+    loadgen_parser.add_argument(
+        "--scenarios",
+        type=int,
+        default=6,
+        metavar="K",
+        help="unique scenario digests in the request mix (default 6)",
+    )
+    loadgen_parser.add_argument(
+        "--requests",
+        type=int,
+        default=120,
+        metavar="N",
+        help="requests per pass (default 120)",
+    )
+    loadgen_parser.add_argument(
+        "--clients",
+        type=int,
+        default=12,
+        metavar="C",
+        help="concurrent keep-alive clients (default 12)",
+    )
+    loadgen_parser.add_argument(
+        "--passes",
+        type=int,
+        default=2,
+        metavar="P",
+        help="replay passes; later passes measure the cache path (default 2)",
+    )
+    loadgen_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="schedule seed (same seed -> identical request stream)",
+    )
+    loadgen_parser.add_argument(
+        "--backend",
+        default="tiered",
+        metavar="SPEC",
+        help="in-process server's cache backend (ignored with --url)",
+    )
+    loadgen_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="in-process server's cache location (ignored with --url)",
+    )
+    loadgen_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="in-process server's compute concurrency (ignored with --url)",
+    )
+    loadgen_parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="replay against a running `repro serve` instead",
+    )
+    loadgen_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the full loadgen report to PATH",
+    )
+    loadgen_parser.add_argument(
+        "--assert-hit-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if the final pass's hit ratio is below X",
+    )
+    loadgen_parser.add_argument(
+        "--assert-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="exit 1 if the final pass's p99 latency exceeds MS",
+    )
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
 
     telemetry_parser = commands.add_parser(
         "telemetry", help="summarize exported telemetry files"

@@ -61,6 +61,16 @@ class ResilienceError(MessError):
     """A fault plan or retry policy is malformed or cannot be applied."""
 
 
+class ServeError(MessError):
+    """The characterization service refused or failed a request.
+
+    Subclasses in :mod:`repro.serve.service` carry an HTTP-style
+    ``status`` code (400 bad request, 404 not found, 429 queue full,
+    503 overloaded, 504 deadline exceeded) so the HTTP layer can map
+    typed errors to responses without string matching.
+    """
+
+
 class CheckError(MessError):
     """The static-analysis pass could not run (bad path, unknown rule).
 

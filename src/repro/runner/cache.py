@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache for characterizations and results.
+"""Content-addressed result cache for characterizations and results.
 
 The expensive step of every experiment is characterization: one curve
 family is a full store-fraction × nop-count sweep over the cycle-level
@@ -8,19 +8,15 @@ stable hash of the *complete* configuration plus the package version —
 change any sweep parameter, system knob or the code version and the key
 changes with it.
 
-Design rules:
-
-- **Atomic writes.** Entries are written to a temporary file in the
-  destination directory and ``os.replace``d into place, so a concurrent
-  reader (or a killed worker) never observes a half-written entry.
-- **Corruption is never fatal.** A truncated, unparsable or
-  wrong-shaped entry is *quarantined* on read — renamed to
-  ``<entry>.json.corrupt`` so the evidence survives for ``repro cache
-  info`` — and the value is recomputed; a cache must never be able to
-  fail a run. Quarantines emit a ``cache.corrupt_quarantined``
-  telemetry counter when a registry is active.
-- **Failures to write are non-fatal too.** A read-only or full disk
-  degrades to "no cache", not to an error.
+Storage itself lives behind the pluggable
+:class:`repro.serve.backends.CacheBackend` interface (atomic writes,
+quarantine-on-corruption, digest-sharded layout); :class:`ResultCache`
+adds the runner-facing concerns on top — key derivation folding in the
+package version, the process-global activation switch, and the
+directory-backend default that keeps ``repro run`` and ``repro serve``
+sharing entries. The design rules (atomic writes, corruption is never
+fatal, write failures degrade to "no cache") are stated and enforced in
+the backends module.
 
 The default location is ``~/.cache/repro-mess``; override it with the
 ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir`` on the CLI.
@@ -31,11 +27,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Iterator, Mapping
-
-from ..telemetry import registry as telemetry_mod
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -74,18 +67,60 @@ def stable_digest(payload: object) -> str:
 
 
 class ResultCache:
-    """A content-addressed store of JSON payloads under one root.
+    """A content-addressed store of JSON payloads behind one backend.
 
-    Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out keeps any
-    single directory small) and wrap the payload with its key and kind
-    so :meth:`get` can reject entries that landed at the wrong path.
+    By default entries live in a sharded directory tree
+    (``<root>/<key[:2]>/<key>.json``); pass any
+    :class:`~repro.serve.backends.CacheBackend` as ``backend`` to store
+    them elsewhere (sqlite, in-memory LRU, or a tiered stack) with
+    identical get/put/quarantine semantics.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        backend: "object | None" = None,
+    ) -> None:
+        from ..serve.backends import CacheBackend, DirectoryBackend
+
         self.root = Path(root).expanduser() if root else default_cache_dir()
-        self.hits = 0
-        self.misses = 0
-        self.quarantined = 0
+        if backend is None:
+            backend = DirectoryBackend(self.root)
+        elif not isinstance(backend, CacheBackend):
+            raise TypeError(
+                f"backend must be a CacheBackend, got {type(backend).__name__}"
+            )
+        elif isinstance(backend, DirectoryBackend):
+            self.root = backend.root
+        self.backend: CacheBackend = backend
+
+    # ------------------------------------------------------------------
+    # Counters (owned by the backend; mirrored for the runner/tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.backend.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.backend.hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.backend.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.backend.misses = value
+
+    @property
+    def quarantined(self) -> int:
+        return self.backend.quarantined
+
+    @quarantined.setter
+    def quarantined(self, value: int) -> None:
+        self.backend.quarantined = value
 
     # ------------------------------------------------------------------
     # Keys
@@ -102,7 +137,17 @@ class ResultCache:
         )
 
     def path_for(self, key: str) -> Path:
-        """On-disk location of the entry for ``key`` (may not exist)."""
+        """On-disk location of the entry for ``key``.
+
+        Only meaningful for directory-backed caches (the default); for
+        other backends this is where a directory backend *would* put
+        the entry — fault injection and tests use it to reach behind
+        the cache API.
+        """
+        from ..serve.backends import DirectoryBackend
+
+        if isinstance(self.backend, DirectoryBackend):
+            return self.backend.path_for(key)
         return self.root / key[:2] / f"{key}.json"
 
     # Backwards-compatible internal alias.
@@ -115,180 +160,83 @@ class ResultCache:
     def get(self, key: str) -> dict | list | None:
         """The payload stored under ``key``, or ``None``.
 
-        Any failure — missing file, unreadable file, invalid JSON, or a
-        wrapper whose recorded key disagrees with the path — counts as a
-        miss; corrupted entries are quarantined (renamed to
-        ``*.json.corrupt``) so they are recomputed once, never
-        re-parsed, and the evidence stays inspectable via
-        ``repro cache info``.
+        Any failure — missing entry, unreadable bytes, invalid JSON, or
+        a wrapper whose recorded key disagrees with its location —
+        counts as a miss; corrupted entries are quarantined so they are
+        recomputed once, never re-parsed, and the evidence stays
+        inspectable via ``repro cache info``.
         """
-        path = self.path_for(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            self.misses += 1
-            return None
-        try:
-            # json.loads handles the UTF-8 decode: undecodable bytes
-            # surface as ValueError and take the corruption path
-            entry = json.loads(data)
-            if entry["key"] != key:
-                raise ValueError("key mismatch")
-            payload = entry["payload"]
-        except (ValueError, TypeError, KeyError):
-            self.quarantine(key)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
+        return self.backend.get(key)
 
     def quarantine(self, key: str) -> Path | None:
         """Move a corrupt entry aside instead of silently deleting it.
 
-        The entry is renamed to ``<entry>.json.corrupt`` so the bad
-        bytes survive for post-mortem inspection (``repro cache info``
-        reports them) while the original path is freed for the
-        recomputed value. Falls back to plain removal when the rename
-        fails; emits a ``cache.corrupt_quarantined`` telemetry counter
-        and a ``cache.quarantined`` event when a registry is active.
+        Directory backends rename the entry to ``<entry>.json.corrupt``
+        and return the new path; other backends preserve the bad bytes
+        in their own quarantine area and return ``None``. Emits a
+        ``cache.corrupt_quarantined`` telemetry counter and a
+        ``cache.quarantined`` event when a registry is active.
         """
-        path = self.path_for(key)
-        target = path.with_name(path.name + CORRUPT_SUFFIX)
-        try:
-            os.replace(path, target)
-        except OSError:
-            self.discard(key)
-            target = None  # type: ignore[assignment]
-        self.quarantined += 1
-        registry = telemetry_mod.active()
-        if registry is not None:
-            registry.counter(
-                "cache.corrupt_quarantined",
-                help="corrupt cache entries quarantined on read",
-            ).inc()
-            registry.event("cache.quarantined", category="cache", key=key)
-        return target
+        from ..serve.backends import DirectoryBackend
+
+        if isinstance(self.backend, DirectoryBackend):
+            return self.backend.quarantine(key)
+        self.backend.discard(key)
+        self.backend._quarantined_one(key)
+        return None
 
     def put(self, key: str, payload: dict | list, kind: str = "") -> bool:
         """Store ``payload`` under ``key`` atomically; False on failure."""
-        path = self._path(key)
-        entry = {"key": key, "kind": kind, "payload": payload}
-        tmp_name = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(path.parent), prefix=".tmp-", suffix=".json"
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp_name, path)
-            return True
-        except OSError:
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-            return False
+        return self.backend.put(key, payload, kind)
 
     def discard(self, key: str) -> None:
         """Best-effort removal of one entry."""
-        try:
-            self._path(key).unlink()
-        except OSError:
-            pass
+        self.backend.discard(key)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
-        """Every entry file currently in the cache."""
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if shard.is_dir():
-                yield from sorted(shard.glob("*.json"))
+        """Every entry file currently in the cache (directory backends)."""
+        from ..serve.backends import DirectoryBackend
+
+        if isinstance(self.backend, DirectoryBackend):
+            yield from self.backend.entries()
 
     def corrupt_entries(self) -> Iterator[Path]:
-        """Every quarantined (``*.json.corrupt``) file in the cache."""
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if shard.is_dir():
-                yield from sorted(shard.glob(f"*.json{CORRUPT_SUFFIX}"))
+        """Every quarantined entry file in the cache (directory backends)."""
+        from ..serve.backends import DirectoryBackend
+
+        if isinstance(self.backend, DirectoryBackend):
+            yield from self.backend.corrupt_entries()
 
     def info(self, detail: bool = False) -> dict:
-        """Summary statistics: root, entry count, bytes per kind.
+        """Summary statistics: backend, location, entries, shards, kinds.
 
-        Quarantined entries are reported separately
-        (``corrupt_entries`` / ``corrupt_bytes``) — a non-zero count
-        means on-disk corruption was detected and survived, which is
-        worth knowing even though the run itself recovered. With
-        ``detail``, an ``entry_list`` is included: one
-        ``{key, kind, bytes}`` record per entry, largest first — the
-        machine-readable breakdown behind ``repro cache info --json``
-        — plus a ``corrupt_list`` of quarantined keys.
+        Reports uniformly across backends: ``backend`` (type),
+        ``location``, entry/byte counts per kind, a ``shards``
+        distribution summary over the digest-prefix shards, and
+        quarantined-entry counts (``corrupt_entries`` /
+        ``corrupt_bytes``) — a non-zero quarantine count means
+        corruption was detected and survived, which is worth knowing
+        even though the run itself recovered. With ``detail``, an
+        ``entry_list`` (``{key, kind, bytes}``, largest first), a
+        ``corrupt_list`` and per-shard ``shard_counts`` are included —
+        the machine-readable breakdown behind
+        ``repro cache info --json``.
         """
-        count = 0
-        total = 0
-        kinds: dict[str, int] = {}
-        kind_bytes: dict[str, int] = {}
-        entry_list: list[dict] = []
-        for path in self.entries():
-            count += 1
-            size = 0
-            try:
-                size = path.stat().st_size
-                kind = json.loads(path.read_text()).get("kind") or "unknown"
-            except (OSError, ValueError, AttributeError):
-                kind = "corrupt"
-            total += size
-            kinds[kind] = kinds.get(kind, 0) + 1
-            kind_bytes[kind] = kind_bytes.get(kind, 0) + size
-            if detail:
-                entry_list.append(
-                    {"key": path.stem, "kind": kind, "bytes": size}
-                )
-        corrupt_count = 0
-        corrupt_bytes = 0
-        corrupt_list: list[dict] = []
-        for path in self.corrupt_entries():
-            corrupt_count += 1
-            try:
-                size = path.stat().st_size
-            except OSError:
-                size = 0
-            corrupt_bytes += size
-            if detail:
-                key = path.name[: -len(f".json{CORRUPT_SUFFIX}")]
-                corrupt_list.append({"key": key, "bytes": size})
-        info = {
-            "root": str(self.root),
-            "entries": count,
-            "bytes": total,
-            "kinds": kinds,
-            "kind_bytes": kind_bytes,
-            "corrupt_entries": corrupt_count,
-            "corrupt_bytes": corrupt_bytes,
-        }
-        if detail:
-            entry_list.sort(key=lambda entry: (-entry["bytes"], entry["key"]))
-            info["entry_list"] = entry_list
-            corrupt_list.sort(key=lambda entry: entry["key"])
-            info["corrupt_list"] = corrupt_list
+        info = self.backend.info(detail=detail)
+        info.setdefault("root", str(self.root))
         return info
 
     def clear(self) -> int:
         """Delete every entry (quarantined included); returns the count."""
-        removed = 0
-        for path in [*self.entries(), *self.corrupt_entries()]:
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        return self.backend.clear()
+
+    def close(self) -> None:
+        """Release backend resources (sqlite connections, write-backs)."""
+        self.backend.close()
 
 
 # ----------------------------------------------------------------------

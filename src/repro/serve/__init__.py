@@ -1,0 +1,62 @@
+"""repro.serve: the async digest-keyed characterization service.
+
+The scenario layer makes every run a pure function of its spec digest;
+this package turns that into a read-mostly service: tiered cache
+backends (:mod:`.backends`), single-flight request coalescing
+(:mod:`.singleflight`), the transport-independent service core with
+backpressure/deadlines/retries (:mod:`.service`), a stdlib asyncio
+HTTP front end and client (:mod:`.http`, :mod:`.client`), and a
+deterministic load generator (:mod:`.loadgen`).
+
+Only the backends are imported eagerly — the runner's result cache
+delegates its storage here, and constructing a cache must not drag in
+the whole serving stack. Everything else loads on first attribute
+access.
+"""
+
+from __future__ import annotations
+
+from . import backends, singleflight
+from .backends import (
+    BACKEND_NAMES,
+    CacheBackend,
+    DirectoryBackend,
+    MemoryLRUBackend,
+    SqliteBackend,
+    TieredBackend,
+    make_backend,
+)
+
+#: Lazily-exposed attribute -> defining submodule.
+_LAZY = {
+    "CharacterizationService": "service",
+    "ServiceConfig": "service",
+    "HttpServer": "http",
+    "ServiceClient": "client",
+    "LoadgenConfig": "loadgen",
+    "run_loadgen": "loadgen",
+    "loadgen_scenarios": "loadgen",
+}
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CacheBackend",
+    "DirectoryBackend",
+    "MemoryLRUBackend",
+    "SqliteBackend",
+    "TieredBackend",
+    "backends",
+    "make_backend",
+    "singleflight",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str) -> object:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

@@ -1,0 +1,127 @@
+"""Minimal asyncio HTTP client for the characterization service.
+
+Speaks exactly the HTTP/1.1 subset :mod:`repro.serve.http` serves —
+request line, headers, ``Content-Length`` bodies, keep-alive — so the
+load generator and tests need no third-party HTTP stack. One
+:class:`ServiceClient` holds one keep-alive connection; the load
+generator opens one client per simulated user.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ServeError
+
+
+class ResponseError(ServeError):
+    """A non-2xx response, with the server's status and error detail."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class ServiceClient:
+    """One keep-alive connection to a serve endpoint."""
+
+    def __init__(self, url: str) -> None:
+        if not url.startswith("http://"):
+            raise ServeError(f"only http:// URLs are supported, got {url!r}")
+        rest = url[len("http://"):].rstrip("/")
+        host, _sep, port = rest.partition(":")
+        self.host = host
+        self.port = int(port) if port else 80
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    async def _connect(self) -> "tuple[asyncio.StreamReader, asyncio.StreamWriter]":
+        if self._reader is None or self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self._reader, self._writer
+
+    async def close(self) -> None:
+        writer = self._writer
+        self._reader = None
+        self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request(
+        self, method: str, path: str, payload: "object | None" = None
+    ) -> dict:
+        """One round-trip; returns the decoded JSON body.
+
+        Non-2xx responses raise :class:`ResponseError` carrying the
+        server's status and ``error`` detail. A dropped keep-alive
+        connection is re-opened and the request retried once — safe
+        here because every service route is idempotent (results are
+        content-addressed).
+        """
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        for final in (False, True):
+            reader, writer = await self._connect()
+            try:
+                writer.write(
+                    (
+                        f"{method} {path} HTTP/1.1\r\n"
+                        f"Host: {self.host}:{self.port}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: keep-alive\r\n"
+                        "\r\n"
+                    ).encode("latin-1")
+                    + body
+                )
+                await writer.drain()
+                return await self._read_response(reader)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if final:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _read_response(self, reader: asyncio.StreamReader) -> dict:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if line:
+                name, _sep, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if status >= 300:
+            raise ResponseError(
+                status, str(decoded.get("error", "unexpected response"))
+            )
+        if not isinstance(decoded, dict):
+            raise ResponseError(status, "response body is not an object")
+        return decoded
+
+    async def submit(self, verb: str, spec: dict) -> dict:
+        return await self.request("POST", f"/v1/{verb}", spec)
+
+    async def lookup(self, digest: str) -> dict:
+        return await self.request("GET", f"/v1/result/{digest}")
+
+    async def healthz(self) -> dict:
+        return await self.request("GET", "/healthz")
+
+    async def stats(self) -> dict:
+        return await self.request("GET", "/stats")

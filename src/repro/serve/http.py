@@ -1,0 +1,254 @@
+"""Minimal asyncio HTTP/1.1 front end for the characterization service.
+
+Stdlib-only by project rule, so this is a small, deliberate subset of
+HTTP/1.1 built directly on :func:`asyncio.start_server`: request line,
+headers, ``Content-Length`` bodies, keep-alive. That subset is exactly
+what ``curl``, the bundled :mod:`repro.serve.client` and the load
+generator speak; anything outside it (chunked uploads, expect/continue,
+TLS) is answered with a clean 4xx/close rather than emulated.
+
+Routes::
+
+    GET  /healthz             liveness probe
+    GET  /metrics             Prometheus exposition of serve.* metrics
+    GET  /stats               JSON operational snapshot
+    GET  /v1/result/<digest>  cached result by digest (404 when absent)
+    POST /v1/characterize     run/serve a characterize scenario spec
+    POST /v1/simulate         run/serve an experiment scenario spec
+    POST /v1/profile          alias of simulate for profiling scenarios
+
+Typed service errors carry their own HTTP status
+(:func:`repro.serve.service.error_status`); anything unexpected is a
+500 with the exception type named, never a dropped connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+from ..telemetry.exporters import prometheus_text
+from .service import (
+    BadRequestError,
+    CharacterizationService,
+    NotFoundError,
+    ServiceConfig,
+    error_status,
+)
+
+#: Largest accepted request body / header block, bytes. Scenario specs
+#: are small; anything bigger is a client bug or abuse.
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_BYTES = 1 << 16
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpServer:
+    """One listening socket in front of one service instance."""
+
+    def __init__(
+        self,
+        service: CharacterizationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> None:
+        """Start the service and begin accepting connections."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            # port 0 binds an ephemeral port; report the real one
+            self.port = sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                    and status < 500
+                )
+                await _write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> "tuple[int, bytes]":
+        try:
+            if method == "GET":
+                return await self._dispatch_get(path)
+            if method == "POST":
+                return await self._dispatch_post(path, body)
+            return _error_payload(405, f"method {method} not allowed")
+        except Exception as exc:
+            status = error_status(exc)
+            detail = str(exc) if status < 500 else (
+                f"{type(exc).__name__}: {exc}"
+            )
+            return _error_payload(status, detail)
+
+    async def _dispatch_get(self, path: str) -> "tuple[int, bytes]":
+        if path == "/healthz":
+            return 200, _json_bytes({"ok": True})
+        if path == "/metrics":
+            text = prometheus_text(self.service.telemetry)
+            return 200, text.encode("utf-8")
+        if path == "/stats":
+            return 200, _json_bytes(self.service.stats())
+        if path.startswith("/v1/result/"):
+            digest = path[len("/v1/result/"):]
+            return 200, _json_bytes(await self.service.lookup(digest))
+        raise NotFoundError(f"no route for GET {path}")
+
+    async def _dispatch_post(
+        self, path: str, body: bytes
+    ) -> "tuple[int, bytes]":
+        if not path.startswith("/v1/"):
+            raise NotFoundError(f"no route for POST {path}")
+        verb = path[len("/v1/"):]
+        try:
+            spec = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRequestError(f"request body is not JSON: {exc}") from exc
+        return 200, _json_bytes(await self.service.submit(verb, spec))
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> "tuple[str, str, dict[str, str], bytes] | None":
+    """Parse one request; None on clean EOF before a request line."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    except asyncio.LimitOverrunError as exc:
+        raise ConnectionError("header block too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ConnectionError("header block too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ConnectionError(f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as exc:
+        raise ConnectionError("bad Content-Length") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ConnectionError(f"body of {length} bytes refused")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    keep_alive: bool,
+) -> None:
+    content_type = (
+        b"application/json"
+        if payload.startswith((b"{", b"["))
+        else b"text/plain; charset=utf-8"
+    )
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type.decode('ascii')}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + payload)
+    await writer.drain()
+
+
+def _json_bytes(payload: object) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _error_payload(status: int, detail: str) -> "tuple[int, bytes]":
+    return status, _json_bytes({"error": detail, "status": status})
+
+
+async def serve(
+    config: "ServiceConfig | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 8650,
+    ready: "Callable[[HttpServer], None] | None" = None,
+) -> None:
+    """Run a server until cancelled (the ``repro serve`` entry point)."""
+    server = HttpServer(CharacterizationService(config), host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        raise
+    finally:
+        await server.close()

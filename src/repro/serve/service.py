@@ -1,0 +1,457 @@
+"""The characterization service: digest-keyed computes behind a cache.
+
+:class:`CharacterizationService` is the transport-independent core of
+``repro serve``. A request is a verb (``characterize`` / ``simulate``
+/ ``profile``) plus a scenario spec; the scenario digest is the
+identity, exactly as in ``repro run``, so the service and the CLI
+share cache entries and produce digest-identical results.
+
+The request path, in order:
+
+1. **Parse and validate** the spec into a frozen
+   :class:`~repro.scenario.core.Scenario` (malformed specs are a 400,
+   computed on the event loop — validation is cheap).
+2. **Cache lookup** through the configured
+   :class:`~repro.serve.backends.CacheBackend` stack, offloaded to the
+   executor (backend I/O is blocking; RPR009 enforces the offload).
+3. **Coalesce** misses per digest through
+   :class:`~repro.serve.singleflight.SingleFlight`: a thundering herd
+   on one uncached digest computes once, followers await the shared
+   flight.
+4. **Backpressure**: leaders queue on a bounded semaphore
+   (``max_inflight`` computes at once); when more than ``queue_limit``
+   requests are already waiting the request is refused with a typed
+   429 (:class:`QueueFullError`) instead of growing the queue without
+   bound.
+5. **Deadline**: each *request* is bounded by ``deadline_s``
+   (:class:`~repro.resilience.failures.DeadlineExceededError`, 504). A
+   timed-out waiter abandons the flight; the flight itself keeps
+   flying so its result still lands in the cache for the next asker.
+6. **Retries**: transient compute failures re-run inside the flight
+   under the configured :class:`~repro.resilience.retry.RetryPolicy`
+   with its deterministic backoff; deterministic model errors are
+   never retried (they would fail identically).
+
+Every stage is instrumented on the service's own
+:class:`~repro.telemetry.registry.TelemetryRegistry`
+(hit/miss/coalesce counters, queue-depth gauge, latency histograms) —
+the HTTP layer exports it at ``/metrics`` in Prometheus format.
+
+Concurrency note: computes run on executor threads, and the engine
+selection seam (:mod:`repro.engine`) is process-global, so two
+concurrent scenarios naming different engines can race the active
+engine. This is deliberate: both engines are bit-identical (the PR 6
+equivalence suite), so the race can change which code path runs, never
+the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError, MessError, ServeError
+from ..resilience.failures import (
+    DeadlineExceededError,
+    classify_failure,
+)
+from ..resilience.retry import RetryPolicy
+from ..telemetry.registry import TelemetryRegistry
+from .backends import (
+    BACKEND_NAMES,
+    CacheBackend,
+    TieredBackend,
+    make_backend,
+)
+from .singleflight import SingleFlight
+
+#: Request verbs the service answers, and the scenario workload kind
+#: each one expects. ``characterize`` runs the Mess benchmark sweep;
+#: ``simulate`` and ``profile`` both execute registered experiments —
+#: profiling figures are experiments in this reproduction, so the two
+#: verbs differ in intent, not mechanism.
+VERB_KINDS: Mapping[str, str] = {
+    "characterize": "characterize",
+    "simulate": "experiment",
+    "profile": "experiment",
+}
+
+#: Millisecond latency buckets for the request/compute histograms.
+LATENCY_MS_BUCKETS = (
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+)
+
+
+class BadRequestError(ServeError):
+    """The request body or scenario spec is malformed (400)."""
+
+    status = 400
+
+
+class NotFoundError(ServeError):
+    """No cached result exists for the requested digest (404)."""
+
+    status = 404
+
+
+class QueueFullError(ServeError):
+    """The compute queue is at its limit; retry later (429)."""
+
+    status = 429
+
+
+class ServiceUnavailableError(ServeError):
+    """The service is not accepting work (starting up/draining) (503)."""
+
+    status = 503
+
+
+def error_status(exc: BaseException) -> int:
+    """HTTP status for an exception out of the service (500 fallback)."""
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    return int(getattr(exc, "status", 500))
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    Parameters
+    ----------
+    backend:
+        Cache backend spec for :func:`~repro.serve.backends.make_backend`
+        — a name (``dir`` / ``sqlite`` / ``memory`` / ``tiered``) or a
+        comma-separated stack, fastest first. The default ``tiered``
+        is an in-memory LRU in front of the shared directory store.
+    cache_dir:
+        Root for the on-disk tiers; ``None`` uses the runner's default,
+        so the service answers from — and feeds — the same cache as
+        ``repro run``.
+    max_inflight:
+        Computes allowed to run concurrently (executor threads doing
+        scenario work). Lookups are not bounded by this.
+    queue_limit:
+        Requests allowed to *wait* for a compute slot before new
+        arrivals are refused with :class:`QueueFullError`.
+    deadline_s:
+        Per-request wall-clock bound; a request still waiting after
+        this long fails with ``DeadlineExceededError`` (504).
+    retry:
+        Policy for transient compute failures inside a flight.
+    """
+
+    backend: str = "tiered"
+    cache_dir: "str | None" = None
+    max_inflight: int = 4
+    queue_limit: int = 64
+    deadline_s: float = 60.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=2, base_delay_s=0.05, max_delay_s=1.0, jitter=0.5
+        )
+    )
+
+    def __post_init__(self) -> None:
+        for part in self.backend.split(","):
+            if part.strip() not in BACKEND_NAMES:
+                raise ConfigurationError(
+                    f"unknown backend {part.strip()!r} in {self.backend!r}; "
+                    f"expected names from {sorted(BACKEND_NAMES)}"
+                )
+        if self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+
+class CharacterizationService:
+    """Answer scenario requests from cache, computing misses once."""
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        backend: "CacheBackend | None" = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.backend = backend if backend is not None else make_backend(
+            self.config.backend, self.config.cache_dir
+        )
+        self.telemetry = TelemetryRegistry()
+        self.flights = SingleFlight()
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._semaphore: "asyncio.Semaphore | None" = None
+        self._waiting = 0
+        self._closed = False
+        tel = self.telemetry
+        self._requests = tel.counter("serve.requests", help="requests received")
+        self._hits = tel.counter("serve.hits", help="served from cache")
+        self._misses = tel.counter("serve.misses", help="cache misses")
+        self._coalesced = tel.counter(
+            "serve.coalesced", help="requests that joined an in-flight compute"
+        )
+        self._computed = tel.counter("serve.computed", help="computes executed")
+        self._rejected = tel.counter(
+            "serve.rejected", help="requests refused by backpressure"
+        )
+        self._timeouts = tel.counter(
+            "serve.timeouts", help="requests past their deadline"
+        )
+        self._errors = tel.counter("serve.errors", help="failed requests")
+        self._queue_depth = tel.gauge(
+            "serve.queue_depth", help="requests waiting for a compute slot"
+        )
+        self._latency_ms = tel.histogram(
+            "serve.latency_ms",
+            bounds=LATENCY_MS_BUCKETS,
+            help="request latency, milliseconds",
+        )
+        self._compute_ms = tel.histogram(
+            "serve.compute_ms",
+            bounds=LATENCY_MS_BUCKETS,
+            help="scenario compute latency, milliseconds",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the service to the running event loop."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight + 2,
+            thread_name_prefix="repro-serve",
+        )
+        self._semaphore = asyncio.Semaphore(self.config.max_inflight)
+        self._closed = False
+
+    async def close(self) -> None:
+        """Stop accepting work and release executor/backend resources."""
+        self._closed = True
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: executor.shutdown(wait=True)
+            )
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.backend.close
+        )
+
+    async def _offload(self, func: Any, *args: Any) -> Any:
+        """Run blocking work on the service executor."""
+        executor = self._executor
+        if executor is None or self._closed:
+            raise ServiceUnavailableError("service is not running")
+        return await asyncio.get_running_loop().run_in_executor(
+            executor, func, *args
+        )
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _parse(self, verb: str, spec_payload: Mapping) -> Any:
+        """Parse + validate a spec against ``verb``; 400 on any problem."""
+        from ..scenario.core import Scenario
+
+        expected = VERB_KINDS.get(verb)
+        if expected is None:
+            raise BadRequestError(
+                f"unknown verb {verb!r}; available: {sorted(VERB_KINDS)}"
+            )
+        if not isinstance(spec_payload, Mapping):
+            raise BadRequestError(
+                "request body must be a scenario spec object, got "
+                f"{type(spec_payload).__name__}"
+            )
+        try:
+            scenario = Scenario.from_spec(spec_payload)
+        except MessError as exc:
+            raise BadRequestError(f"invalid scenario spec: {exc}") from exc
+        kind = str(scenario.workload.get("kind", ""))
+        if kind != expected:
+            raise BadRequestError(
+                f"verb {verb!r} expects a {expected!r} workload, the "
+                f"scenario {scenario.name!r} declares {kind!r}"
+            )
+        problems = scenario.validate()
+        if problems:
+            raise BadRequestError(
+                f"scenario {scenario.name!r}: " + "; ".join(problems)
+            )
+        return scenario
+
+    def _compute_sync(self, scenario: Any, key: str) -> "dict | list":
+        """Cache-or-compute one scenario on an executor thread.
+
+        Mirrors the runner's ``_execute_scenario`` exactly — re-check
+        the cache (another process or flight may have landed the entry
+        since the event-loop lookup), run, JSON-round-trip normalize so
+        cached and fresh results carry identically-typed rows, store.
+        """
+        from ..experiments.base import ExperimentResult
+
+        payload = self.backend.get(key)
+        if payload is not None:
+            try:
+                ExperimentResult.from_dict(payload)
+                return payload
+            except MessError:
+                self.backend.discard(key)
+        result = scenario.run()
+        payload = json.loads(json.dumps(result.to_dict()))
+        self.backend.put(key, payload, kind="scenario-result")
+        if isinstance(self.backend, TieredBackend):
+            self.backend.flush()
+        return payload
+
+    async def _fly(self, scenario: Any, key: str) -> "dict | list":
+        """The flight body: backpressure, compute slot, retries."""
+        if self.config.queue_limit and self._waiting >= self.config.queue_limit:
+            self._rejected.inc()
+            raise QueueFullError(
+                f"{self._waiting} requests already queued "
+                f"(limit {self.config.queue_limit}); retry later"
+            )
+        semaphore = self._semaphore
+        if semaphore is None or self._closed:
+            raise ServiceUnavailableError("service is not running")
+        self._waiting += 1
+        self._queue_depth.set(float(self._waiting))
+        try:
+            async with semaphore:
+                policy = self.config.retry
+                attempt = 1
+                while True:
+                    tick = time.perf_counter()
+                    try:
+                        payload = await self._offload(
+                            self._compute_sync, scenario, key
+                        )
+                    except Exception as exc:
+                        kind = classify_failure(exc)
+                        if not policy.should_retry(kind, attempt):
+                            raise
+                        delay = policy.delay_s(key, attempt)
+                        attempt += 1
+                        if delay > 0:
+                            await asyncio.sleep(delay)
+                        continue
+                    self._computed.inc()
+                    self._compute_ms.observe(
+                        (time.perf_counter() - tick) * 1e3
+                    )
+                    return payload
+        finally:
+            self._waiting -= 1
+            self._queue_depth.set(float(self._waiting))
+
+    async def submit(self, verb: str, spec_payload: Mapping) -> dict:
+        """Serve one request; the response envelope is JSON-ready.
+
+        Returns ``{"verb", "digest", "scenario", "cached", "coalesced",
+        "latency_ms", "result"}``. Raises typed :class:`ServeError`
+        subclasses (or ``DeadlineExceededError``) on refusal/failure.
+        """
+        start = time.perf_counter()
+        self._requests.inc()
+        try:
+            scenario = self._parse(verb, spec_payload)
+            key = scenario.digest()
+            payload = await self._offload(self.backend.get, key)
+            cached = payload is not None
+            coalesced = False
+            if payload is None:
+                self._misses.inc()
+                try:
+                    payload, coalesced = await asyncio.wait_for(
+                        self.flights.run(
+                            key, lambda: self._fly(scenario, key)
+                        ),
+                        timeout=self.config.deadline_s,
+                    )
+                except asyncio.TimeoutError:
+                    self._timeouts.inc()
+                    raise DeadlineExceededError(
+                        f"request for {key[:12]}… exceeded its "
+                        f"{self.config.deadline_s:.1f}s deadline"
+                    ) from None
+                if coalesced:
+                    self._coalesced.inc()
+            else:
+                self._hits.inc()
+            latency_ms = (time.perf_counter() - start) * 1e3
+            self._latency_ms.observe(latency_ms)
+            return {
+                "verb": verb,
+                "digest": key,
+                "scenario": scenario.name,
+                "cached": cached,
+                "coalesced": coalesced,
+                "latency_ms": latency_ms,
+                "result": payload,
+            }
+        except Exception as exc:
+            if not isinstance(
+                exc, (QueueFullError, DeadlineExceededError)
+            ):
+                self._errors.inc()
+            self._latency_ms.observe((time.perf_counter() - start) * 1e3)
+            raise
+
+    async def lookup(self, digest: str) -> dict:
+        """Serve a result by digest from cache only; 404 when absent."""
+        self._requests.inc()
+        if not digest or any(c not in "0123456789abcdef" for c in digest):
+            raise BadRequestError(f"not a hex digest: {digest!r}")
+        payload = await self._offload(self.backend.get, digest)
+        if payload is None:
+            self._misses.inc()
+            raise NotFoundError(f"no cached result for digest {digest}")
+        self._hits.inc()
+        return {"digest": digest, "cached": True, "result": payload}
+
+    def stats(self) -> dict:
+        """JSON-ready operational snapshot (the ``/stats`` endpoint)."""
+        summary = self.telemetry.summary()
+        return {
+            "counters": summary["counters"],
+            "gauges": summary["gauges"],
+            "histograms": summary["histograms"],
+            "singleflight": {
+                "leaders": self.flights.leaders,
+                "followers": self.flights.followers,
+                "in_flight": self.flights.in_flight,
+            },
+            "backend": self.backend.info(),
+            "config": {
+                "backend": self.config.backend,
+                "max_inflight": self.config.max_inflight,
+                "queue_limit": self.config.queue_limit,
+                "deadline_s": self.config.deadline_s,
+            },
+        }

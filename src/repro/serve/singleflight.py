@@ -1,0 +1,94 @@
+"""Single-flight request coalescing for digest-keyed computes.
+
+When a thundering herd asks for the same uncached digest, exactly one
+caller (the *leader*) runs the compute; every other caller (a
+*follower*) awaits the same future and shares the result — the herd
+costs one compute, not N. This is the asyncio analogue of Go's
+``singleflight`` package.
+
+Semantics worth naming:
+
+- The leader's work runs as its **own task**, not inside the leader's
+  coroutine, so cancelling any one waiter — leader included — never
+  cancels the shared compute that other waiters depend on.
+- Waiters await the shared future through ``asyncio.shield``: a
+  cancelled waiter stops waiting, the flight keeps flying.
+- A failed flight propagates its exception to every waiter of *that*
+  flight, then clears the key — the next request starts a fresh
+  flight rather than replaying a cached failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+
+class Flight:
+    """One in-progress compute and the count of callers sharing it."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task: "asyncio.Task[Any]") -> None:
+        self.task = task
+        self.waiters = 1
+
+
+class SingleFlight:
+    """Coalesce concurrent calls per key into one shared compute."""
+
+    def __init__(self) -> None:
+        self._flights: dict[str, Flight] = {}
+        #: Computes started (one per unique in-flight key).
+        self.leaders = 0
+        #: Calls that joined an existing flight instead of computing.
+        self.followers = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        return len(self._flights)
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable[Any]]
+    ) -> "tuple[Any, bool]":
+        """Return ``(result, followed)``, sharing the compute per key.
+
+        The first caller for ``key`` starts ``compute()`` as a task and
+        becomes the leader (``followed=False``); callers arriving while
+        that task is pending become followers (``followed=True``) of
+        the same task. All of them receive the same result (or the same
+        exception).
+        """
+        flight = self._flights.get(key)
+        if flight is not None:
+            flight.waiters += 1
+            self.followers += 1
+            try:
+                return await asyncio.shield(flight.task), True
+            finally:
+                flight.waiters -= 1
+
+        task = asyncio.ensure_future(compute())
+        flight = Flight(task)
+        self._flights[key] = flight
+        self.leaders += 1
+        task.add_done_callback(lambda done: self._land(key, flight, done))
+        try:
+            return await asyncio.shield(task), False
+        finally:
+            flight.waiters -= 1
+
+    def _land(
+        self, key: str, flight: Flight, task: "asyncio.Task[Any]"
+    ) -> None:
+        """Clear the flight once its task finishes."""
+        if self._flights.get(key) is flight:
+            del self._flights[key]
+        if task.cancelled():
+            return
+        # if every waiter was cancelled before the result landed, nobody
+        # will ever await the task — retrieve the exception so asyncio
+        # doesn't log "exception was never retrieved" at shutdown
+        if flight.waiters <= 0:
+            task.exception()

@@ -343,3 +343,80 @@ class TestEngineSeamRPR008:
     def test_suppression_comment_works(self):
         src = "sim = MessMemorySimulator(curves)  # repro: ignore[RPR008]\n"
         assert rule_ids(src, "src/repro/experiments/figX.py", rules=["RPR008"]) == []
+
+
+class TestBlockingAsyncIORPR009:
+    FILE = "src/repro/serve/http.py"
+
+    def test_fires_on_time_sleep(self):
+        src = "async def handle():\n    time.sleep(1)\n"
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == ["RPR009"]
+
+    def test_fires_on_open(self):
+        src = "async def handle():\n    data = open('x').read()\n"
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == ["RPR009"]
+
+    def test_fires_on_path_write(self):
+        src = "async def handle(path):\n    path.write_text('x')\n"
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == ["RPR009"]
+
+    def test_fires_on_sqlite_work(self):
+        src = (
+            "async def handle(conn):\n"
+            "    conn.execute('select 1')\n"
+            "    conn.commit()\n"
+        )
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == [
+            "RPR009",
+            "RPR009",
+        ]
+
+    def test_fires_on_os_replace(self):
+        src = "async def handle():\n    os.replace('a', 'b')\n"
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == ["RPR009"]
+
+    def test_silent_on_asyncio_sleep(self):
+        src = "async def handle():\n    await asyncio.sleep(1)\n"
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == []
+
+    def test_silent_in_sync_function(self):
+        src = "def compute(path):\n    return path.read_text()\n"
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == []
+
+    def test_silent_in_nested_sync_function(self):
+        # the nested def is the executor payload — defining it is fine
+        src = (
+            "async def handle(loop, path):\n"
+            "    def payload():\n"
+            "        return path.read_text()\n"
+            "    return await loop.run_in_executor(None, payload)\n"
+        )
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == []
+
+    def test_silent_on_lambda_payload(self):
+        src = (
+            "async def handle(loop, path):\n"
+            "    return await loop.run_in_executor("
+            "None, lambda: path.read_text())\n"
+        )
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == []
+
+    def test_fires_in_nested_async_function(self):
+        src = (
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        time.sleep(1)\n"
+            "    await inner()\n"
+        )
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == ["RPR009"]
+
+    def test_silent_outside_serve(self):
+        src = "async def handle():\n    time.sleep(1)\n"
+        assert rule_ids(src, "src/repro/runner/pool.py", rules=["RPR009"]) == []
+
+    def test_suppression_comment_works(self):
+        src = (
+            "async def handle():\n"
+            "    time.sleep(1)  # repro: ignore[RPR009]\n"
+        )
+        assert rule_ids(src, self.FILE, rules=["RPR009"]) == []

@@ -1,0 +1,134 @@
+"""Single-flight coalescing: one compute per key, however many askers."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def test_thundering_herd_computes_once():
+    async def scenario():
+        flights = SingleFlight()
+        computes = 0
+        gate = asyncio.Event()
+
+        async def compute():
+            nonlocal computes
+            computes += 1
+            await gate.wait()
+            return {"value": computes}
+
+        tasks = [
+            asyncio.ensure_future(flights.run("key", compute))
+            for _ in range(50)
+        ]
+        await asyncio.sleep(0)  # let every waiter join the flight
+        gate.set()
+        outcomes = await asyncio.gather(*tasks)
+        return computes, outcomes, flights
+
+    computes, outcomes, flights = asyncio.run(scenario())
+    assert computes == 1
+    assert all(payload == {"value": 1} for payload, _followed in outcomes)
+    followed = sum(1 for _payload, followed in outcomes if followed)
+    assert followed == 49
+    assert flights.leaders == 1
+    assert flights.followers == 49
+    assert flights.in_flight == 0
+
+
+def test_sequential_runs_compute_each_time():
+    async def scenario():
+        flights = SingleFlight()
+        computes = 0
+
+        async def compute():
+            nonlocal computes
+            computes += 1
+            return computes
+
+        first = await flights.run("key", compute)
+        second = await flights.run("key", compute)
+        return first, second, flights
+
+    first, second, flights = asyncio.run(scenario())
+    assert first == (1, False)
+    assert second == (2, False)
+    assert flights.leaders == 2
+    assert flights.followers == 0
+
+
+def test_distinct_keys_fly_independently():
+    async def scenario():
+        flights = SingleFlight()
+        gate = asyncio.Event()
+
+        async def compute(value):
+            await gate.wait()
+            return value
+
+        tasks = [
+            asyncio.ensure_future(flights.run(str(n), lambda n=n: compute(n)))
+            for n in range(4)
+        ]
+        await asyncio.sleep(0)
+        assert flights.in_flight == 4
+        gate.set()
+        return await asyncio.gather(*tasks), flights
+
+    outcomes, flights = asyncio.run(scenario())
+    assert [payload for payload, _ in outcomes] == [0, 1, 2, 3]
+    assert flights.leaders == 4
+
+
+def test_failure_propagates_to_every_waiter():
+    async def scenario():
+        flights = SingleFlight()
+        gate = asyncio.Event()
+
+        async def compute():
+            await gate.wait()
+            raise ValueError("boom")
+
+        tasks = [
+            asyncio.ensure_future(flights.run("key", compute))
+            for _ in range(5)
+        ]
+        await asyncio.sleep(0)
+        gate.set()
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        # a failed flight must not be cached: the next run re-computes
+        async def recover():
+            return "fresh"
+
+        retry = await flights.run("key", recover)
+        return outcomes, retry
+
+    outcomes, retry = asyncio.run(scenario())
+    assert len(outcomes) == 5
+    assert all(isinstance(outcome, ValueError) for outcome in outcomes)
+    assert retry == ("fresh", False)
+
+
+def test_cancelled_follower_does_not_kill_the_flight():
+    async def scenario():
+        flights = SingleFlight()
+        gate = asyncio.Event()
+
+        async def compute():
+            await gate.wait()
+            return "landed"
+
+        leader = asyncio.ensure_future(flights.run("key", compute))
+        follower = asyncio.ensure_future(flights.run("key", compute))
+        await asyncio.sleep(0)
+        follower.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await follower
+        gate.set()
+        return await leader
+
+    assert asyncio.run(scenario()) == ("landed", False)
