@@ -1,10 +1,10 @@
 """Project-specific static analysis: lint rules + data-artifact validators.
 
-Two halves:
+Three layers:
 
-- an AST rule engine (:mod:`.engine`) with one module per rule family —
-  RPR001 unit safety (:mod:`.rules_units`), RPR002 determinism
-  (:mod:`.rules_determinism`), RPR003 telemetry hot path
+- an AST rule engine (:mod:`.engine`) with one module per per-file
+  rule family — RPR001 unit safety (:mod:`.rules_units`), RPR002
+  determinism (:mod:`.rules_determinism`), RPR003 telemetry hot path
   (:mod:`.rules_hotpath`), RPR004 registry hygiene
   (:mod:`.rules_registry`), RPR005 float equality
   (:mod:`.rules_floats`), RPR006 scenario-layer boundary
@@ -12,15 +12,25 @@ Two halves:
   (:mod:`.rules_resilience`), RPR008 engine-seam bypass
   (:mod:`.rules_engine_seam`), RPR009 blocking I/O on the serving
   event loop (:mod:`.rules_serve`);
+- a whole-program layer — an import + approximate call graph
+  (:mod:`.graph`) and reachability walks (:mod:`.dataflow`) feeding
+  the interprocedural rules: RPR010 digest-determinism taint
+  (:mod:`.rules_taint`), RPR011 shared-state races across the serve
+  event loop and the process-pool boundary (:mod:`.rules_races`),
+  RPR012 engine kernel parity (:mod:`.rules_parity`);
 - declarative invariant validators for data artifacts
   (:mod:`.invariants`): platform specs (RPR101), curve families
   (RPR102), run manifests (RPR103), scenario files (RPR104) and
   fault plans (RPR105).
 
-Entry points: :func:`run_checks` (what ``repro check`` calls),
-:func:`check_source` (for fixture tests), and the per-artifact
-validators. Importing this package imports every rule module so the
-registry is complete.
+Entry points: :func:`run_checks` (what ``repro check`` calls — the
+cached, parallel :func:`~repro.checks.driver.analyze_paths` pipeline),
+:func:`check_source`/:func:`check_sources` (for fixture tests), and
+the per-artifact validators. Deployment plumbing lives beside the
+rules: :mod:`.sarif` (code-scanning output), :mod:`.baseline` (the
+adopt-then-ratchet workflow), :mod:`.cache` (the content-digest
+incremental cache). Importing this package imports every rule module
+so the registry is complete.
 """
 
 from __future__ import annotations
@@ -29,11 +39,13 @@ from typing import Sequence
 
 from .engine import (
     Finding,
+    ProgramRule,
     Rule,
     RULE_CLASSES,
     available_rules,
     check_paths,
     check_source,
+    check_sources,
     register_rule,
 )
 
@@ -43,11 +55,16 @@ from . import rules_determinism  # noqa: F401
 from . import rules_engine_seam  # noqa: F401
 from . import rules_floats  # noqa: F401
 from . import rules_hotpath  # noqa: F401
+from . import rules_parity  # noqa: F401
+from . import rules_races  # noqa: F401
 from . import rules_registry  # noqa: F401
 from . import rules_resilience  # noqa: F401
 from . import rules_scenario  # noqa: F401
 from . import rules_serve  # noqa: F401
+from . import rules_taint  # noqa: F401
 from . import rules_units  # noqa: F401
+from .baseline import compare, load_baseline, write_baseline
+from .driver import AnalysisReport, analyze_paths
 from .invariants import (
     check_curve_family,
     check_fault_plan,
@@ -59,11 +76,15 @@ from .invariants import (
     check_scenario,
     check_scenario_file,
 )
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
+    "AnalysisReport",
     "Finding",
+    "ProgramRule",
     "Rule",
     "RULE_CLASSES",
+    "analyze_paths",
     "available_rules",
     "check_curve_family",
     "check_fault_plan",
@@ -76,8 +97,14 @@ __all__ = [
     "check_scenario",
     "check_scenario_file",
     "check_source",
+    "check_sources",
+    "compare",
+    "load_baseline",
     "register_rule",
+    "render_sarif",
     "run_checks",
+    "to_sarif",
+    "write_baseline",
 ]
 
 

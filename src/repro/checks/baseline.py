@@ -1,0 +1,105 @@
+"""Baseline ratchet: adopt the linter on a tree with known findings.
+
+Turning a new rule on over an existing codebase usually forces a
+choice between fixing everything at once and suppressing everything
+forever. The baseline is the third option — a committed snapshot of
+the *accepted* findings, against which each run is compared:
+
+- findings **not** in the baseline are *new* and fail the run;
+- baselined findings are reported as tolerated, not failures;
+- fixing a baselined finding makes the baseline *stale*; the run
+  still passes but says so, and ``--write-baseline`` re-snapshots so
+  the ratchet only ever tightens.
+
+Identity is the same location-stable fingerprint SARIF emits
+(path + rule + message, no line numbers), **counted**: two identical
+findings in one file occupy two baseline slots, so introducing a
+second instance of an already-baselined mistake is still new. The
+file format is sorted JSON, one fingerprint per line when pretty-
+printed — merge conflicts stay readable and diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import CheckError
+from .engine import Finding
+from .sarif import fingerprint
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    """One run's findings split against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline slots no current finding consumed (fixed findings).
+    stale: int = 0
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Snapshot the current findings as the accepted baseline."""
+    counts = Counter(fingerprint(finding) for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: str | Path) -> Counter[str]:
+    """The fingerprint counts of a committed baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise CheckError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise CheckError(f"baseline {path} has no 'findings' table")
+    if payload.get("version") != BASELINE_VERSION:
+        raise CheckError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}; regenerate with --write-baseline"
+        )
+    table = payload["findings"]
+    if not isinstance(table, dict):
+        raise CheckError(f"baseline {path} has a malformed 'findings' table")
+    counts: Counter[str] = Counter()
+    for key, value in table.items():
+        if not isinstance(value, int) or value < 1:
+            raise CheckError(
+                f"baseline {path}: count for {key!r} must be a positive int"
+            )
+        counts[str(key)] = value
+    return counts
+
+
+def compare(
+    findings: Sequence[Finding], baseline: Counter[str]
+) -> BaselineComparison:
+    """Split findings into new vs baselined against fingerprint counts.
+
+    Each finding consumes one baseline slot for its fingerprint; the
+    ``N+1``-th identical finding is new. Deterministic: findings are
+    processed in sorted order, so which instance is called "new" does
+    not depend on discovery order.
+    """
+    comparison = BaselineComparison()
+    remaining = Counter(baseline)
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            comparison.baselined.append(finding)
+        else:
+            comparison.new.append(finding)
+    comparison.stale = sum(remaining.values())
+    return comparison

@@ -1,0 +1,129 @@
+"""Content-digest-keyed cache for per-file analysis results.
+
+``repro check`` does two expensive things per Python file: parse it
+(AST) and derive results from the tree — per-file rule findings and the
+:class:`~repro.checks.graph.ModuleSummary` the whole-program rules
+build their graph from. Both are pure functions of the file *content*
+and the engine version, so they cache under the source's SHA-256:
+
+- move or re-clone the checkout and the cache still hits (summaries
+  are content-derived; display paths are re-bound on load);
+- touch one file and only that file re-analyzes — the incremental CI
+  and pre-commit story;
+- no mtime heuristics, no invalidation bugs: a different byte stream
+  is a different key.
+
+Entries are JSON files under a two-level fan-out directory
+(``<cache>/ab/<key>.json``), written atomically (temp file +
+``os.replace``) so concurrent ``repro check`` runs — or a crashed one —
+can never leave a torn entry. Unreadable or version-skewed entries are
+treated as misses and silently rewritten.
+
+The key folds in :data:`CACHE_VERSION` (bumped whenever rule or
+summary semantics change), :data:`~repro.checks.graph.SUMMARY_VERSION`
+and the ids of the cacheable rules that ran, so changing ``--rules``
+selects a different cache line instead of returning stale findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .graph import SUMMARY_VERSION
+
+#: Bump to invalidate every cached analysis (rule/summary semantics).
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = Path(".repro-cache") / "checks"
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 of a source file's text (the cache identity)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Digest-keyed store of per-file analysis payloads."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, digest: str, rule_ids: Sequence[str]) -> str:
+        """Cache key for one file content under one rule selection."""
+        material = json.dumps(
+            {
+                "cache": CACHE_VERSION,
+                "summary": SUMMARY_VERSION,
+                "digest": digest,
+                "rules": sorted(rule_ids),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or None on any miss."""
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cache") != CACHE_VERSION
+            or payload.get("summary_version") != SUMMARY_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Atomically persist one payload; failures are non-fatal."""
+        entry = dict(payload)
+        entry["cache"] = CACHE_VERSION
+        entry["summary_version"] = SUMMARY_VERSION
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # a read-only or full cache dir must never fail the check
+            return
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.rglob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

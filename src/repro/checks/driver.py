@@ -1,0 +1,301 @@
+"""Analysis driver: caching, parallelism and PR-scoped runs.
+
+:func:`analyze_paths` is the one pipeline behind both
+:func:`repro.checks.check_paths` and the ``repro check`` CLI. Per
+Python file it needs a parse, the per-file rule findings and a
+:class:`~repro.checks.graph.ModuleSummary`; all three are pure in the
+file content, so the driver:
+
+- keys them by source SHA-256 in an :class:`AnalysisCache` (touch one
+  file, re-analyze one file — the rest of the tree loads as JSON);
+- fans cache misses out over a ``ProcessPoolExecutor`` when there are
+  enough of them to pay for the fork;
+- reports unparseable files as ``RPR000`` findings and keeps going,
+  so one syntax error cannot hide every other finding in the tree.
+
+The whole-program rules always see the *full* graph — built from
+cached summaries where possible — even under ``changed_only``, which
+filters the reported findings (not the analysis) down to files changed
+relative to a git ref. A taint chain that enters an unchanged file
+through a changed one is still visible that way.
+
+Cross-file per-file rules (``Rule.cross_file``, e.g. the duplicate
+experiment-id check) are excluded from the cache and re-run every time
+over the files they apply to; their ``applies_to`` must therefore
+depend only on path-derived context (``ctx.parts``/``ctx.path``), which
+lets the driver gate them without parsing unchanged files.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence, cast
+
+from ..errors import CheckError
+from .cache import AnalysisCache, source_digest
+from .engine import (
+    FileContext,
+    Finding,
+    _collect_files,
+    _select_rules,
+    parse_failure_finding,
+    run_file_rules,
+    run_program_rules,
+)
+from .graph import ModuleSummary, ProgramGraph, extract_summary
+
+#: Below this many cache misses a worker pool costs more than it saves.
+PARALLEL_THRESHOLD = 16
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one :func:`analyze_paths` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    files_reanalyzed: int = 0
+    files_from_cache: int = 0
+    parse_failures: int = 0
+    changed_only: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "files_scanned": self.files_scanned,
+            "files_reanalyzed": self.files_reanalyzed,
+            "files_from_cache": self.files_from_cache,
+            "parse_failures": self.parse_failures,
+            "changed_only": self.changed_only,
+        }
+
+
+class _PathProbe:
+    """Path-only stand-in for FileContext in ``applies_to`` prechecks."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.display_path = str(path)
+        self.parts = frozenset(part.lower() for part in path.parts)
+
+
+def _analyze_file(item: tuple[str, str, tuple[str, ...]]) -> dict[str, Any]:
+    """Worker: parse one source, run cacheable rules, summarize.
+
+    Module-level (picklable) so it can cross the process-pool
+    boundary; the payload is the JSON the cache stores, findings kept
+    path-free so a cached entry survives checkout moves.
+    """
+    display_path, source, rule_ids = item
+    try:
+        ctx = FileContext(Path(display_path), source, display_path=display_path)
+    except SyntaxError as exc:
+        error = f"line {exc.lineno or 0}: {exc.msg or 'syntax error'}"
+        return {
+            "summary": ModuleSummary(parse_error=error).to_dict(),
+            "findings": [],
+            "parse_error": error,
+        }
+    summary = extract_summary(ctx.tree, source)
+    file_rules, _ = _select_rules(list(rule_ids))
+    findings = run_file_rules(ctx, file_rules)
+    return {
+        "summary": summary.to_dict(),
+        "findings": [
+            {
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "message": finding.message,
+                "hint": finding.hint,
+            }
+            for finding in findings
+        ],
+        "parse_error": None,
+    }
+
+
+def _bind_findings(display_path: str, payload: Mapping[str, Any]) -> list[Finding]:
+    """Re-attach the display path to a payload's path-free findings."""
+    return [
+        Finding(
+            path=display_path,
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            rule_id=str(entry["rule"]),
+            message=str(entry["message"]),
+            hint=str(entry.get("hint", "")),
+        )
+        for entry in payload.get("findings", [])
+    ]
+
+
+def _git_lines(arguments: Sequence[str]) -> list[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *arguments],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = ""
+        if isinstance(exc, subprocess.CalledProcessError):
+            detail = f": {exc.stderr.strip()}"
+        raise CheckError(
+            f"--changed-only needs a working git ({' '.join(arguments)} "
+            f"failed{detail})"
+        ) from exc
+    return [line for line in completed.stdout.split("\0") if line]
+
+
+def changed_files(since: str | None = None) -> set[Path]:
+    """Resolved paths changed relative to ``since`` (default HEAD).
+
+    Tracked changes come from ``git diff --name-only``; untracked (but
+    not ignored) files count as changed too, so a brand-new module is
+    in scope for a PR-scoped run.
+    """
+    base = since or "HEAD"
+    toplevel = _git_lines(["rev-parse", "--show-toplevel"])
+    if not toplevel:
+        raise CheckError("--changed-only needs a working git checkout")
+    root = Path(toplevel[0].strip())
+    names = _git_lines(["diff", "--name-only", "-z", base, "--"])
+    names += _git_lines(["ls-files", "--others", "--exclude-standard", "-z"])
+    return {(root / name).resolve() for name in names}
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[str] | None = None,
+    *,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache: AnalysisCache | None = None,
+    cache_dir: str | Path | None = None,
+    changed_only: bool = False,
+    since: str | None = None,
+) -> AnalysisReport:
+    """Run the full analysis pipeline over files and directories.
+
+    Parameters mirror the ``repro check`` CLI: ``jobs`` caps the
+    worker pool (None picks one automatically, 1 forces serial),
+    ``use_cache=False`` disables the incremental cache, ``changed_only``
+    filters reported findings to files changed relative to ``since``.
+    Raises :class:`CheckError` for missing paths and unknown rules.
+    """
+    file_rules, program_rules = _select_rules(rules)
+    cacheable = [rule for rule in file_rules if not rule.cross_file]
+    cross = [rule for rule in file_rules if rule.cross_file]
+    cacheable_ids = tuple(sorted(rule.rule_id for rule in cacheable))
+
+    python_files, json_files = _collect_files(paths)
+    if cache is None and use_cache:
+        cache = AnalysisCache(cache_dir)
+
+    sources: list[tuple[str, str]] = []
+    for path in python_files:
+        try:
+            sources.append((str(path), path.read_text()))
+        except (OSError, UnicodeDecodeError) as exc:
+            raise CheckError(f"cannot read {path}: {exc}") from exc
+
+    report = AnalysisReport(files_scanned=len(sources), changed_only=changed_only)
+    payloads: dict[str, dict[str, Any]] = {}
+    keys: dict[str, str] = {}
+    todo: list[tuple[str, str, tuple[str, ...]]] = []
+    for display_path, source in sources:
+        key = ""
+        if cache is not None:
+            key = cache.key(source_digest(source), cacheable_ids)
+            keys[display_path] = key
+            cached = cache.load(key)
+            if cached is not None:
+                payloads[display_path] = cached
+                report.files_from_cache += 1
+                continue
+        todo.append((display_path, source, cacheable_ids))
+
+    report.files_reanalyzed = len(todo)
+    fresh: list[dict[str, Any]]
+    worker_count = jobs if jobs is not None else (
+        0 if len(todo) < PARALLEL_THRESHOLD else len(todo)
+    )
+    if worker_count > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=min(worker_count, len(todo))) as pool:
+            fresh = list(pool.map(_analyze_file, todo, chunksize=4))
+    else:
+        fresh = [_analyze_file(item) for item in todo]
+    for (display_path, _, _), payload in zip(todo, fresh):
+        payloads[display_path] = payload
+        if cache is not None:
+            cache.store(keys[display_path], payload)
+
+    findings: list[Finding] = []
+    summaries: list[ModuleSummary] = []
+    display_paths: list[str] = []
+    parsed_ok: set[str] = set()
+    for display_path, _ in sources:
+        payload = payloads[display_path]
+        error = payload.get("parse_error")
+        if error is not None:
+            report.parse_failures += 1
+            findings.append(parse_failure_finding(display_path, str(error)))
+        else:
+            parsed_ok.add(display_path)
+            findings.extend(_bind_findings(display_path, payload))
+        summaries.append(ModuleSummary.from_dict(payload["summary"]))
+        display_paths.append(display_path)
+
+    if cross:
+        source_by_path = dict(sources)
+        for display_path in display_paths:
+            if display_path not in parsed_ok:
+                continue
+            probe = cast(FileContext, _PathProbe(Path(display_path)))
+            applicable = [rule for rule in cross if rule.applies_to(probe)]
+            if not applicable:
+                continue
+            ctx = FileContext(
+                Path(display_path),
+                source_by_path[display_path],
+                display_path=display_path,
+            )
+            findings.extend(run_file_rules(ctx, applicable))
+        for rule in cross:
+            findings.extend(rule.finish())
+    for rule in cacheable:
+        findings.extend(rule.finish())
+
+    if program_rules and summaries:
+        graph = ProgramGraph.build(summaries, display_paths)
+        findings.extend(run_program_rules(graph, program_rules))
+
+    if json_files:
+        from .invariants import check_json_file
+
+        for path in json_files:
+            findings.extend(check_json_file(path))
+
+    if changed_only:
+        changed = changed_files(since)
+        findings = [
+            finding
+            for finding in findings
+            if Path(finding.path).resolve() in changed
+        ]
+
+    report.findings = sorted(findings, key=Finding.sort_key)
+    return report
+
+
+__all__ = [
+    "AnalysisReport",
+    "PARALLEL_THRESHOLD",
+    "analyze_paths",
+    "changed_files",
+]

@@ -27,9 +27,12 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..errors import CheckError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .graph import ProgramGraph
 
 #: Directories whose contents feed the content-addressed cache and must
 #: therefore stay deterministic (RPR002's scope).
@@ -111,6 +114,10 @@ class Rule(ast.NodeVisitor):
     rule_id: str = ""
     title: str = ""
     hint: str = ""
+    #: True when findings depend on *other* files in the same run
+    #: (e.g. duplicate-id detection). Cross-file rules are excluded
+    #: from the per-file result cache and always re-run.
+    cross_file: bool = False
 
     def __init__(self) -> None:
         self.findings: list[Finding] = []
@@ -164,15 +171,67 @@ class Rule(ast.NodeVisitor):
         )
 
 
+class ProgramRule:
+    """Base class for one whole-program (interprocedural) rule.
+
+    Unlike :class:`Rule`, a program rule never sees a single file: it
+    receives the :class:`~repro.checks.graph.ProgramGraph` built over
+    every scanned module and returns findings directly. Suppression is
+    the rule's responsibility — the graph's summaries carry the
+    ``# repro: ignore`` markers recorded at extraction time (see
+    :func:`repro.checks.graph.site_suppressed`), because by the time a
+    program rule runs the sources may only exist as cached summaries.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    hint: str = ""
+
+    def run_program(self, graph: "ProgramGraph") -> list[Finding]:
+        """Findings over the whole program; override in subclasses."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        *,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
 #: rule id -> rule class, populated by :func:`register_rule`.
-RULE_CLASSES: dict[str, type[Rule]] = {}
+RULE_CLASSES: dict[str, type[Rule] | type[ProgramRule]] = {}
+
+#: Pseudo-rules reported by the driver itself, not by a rule class.
+#: RPR000 marks a file the analyzer could not parse: the file is
+#: reported and skipped instead of aborting the whole run.
+PARSE_RULE_ID = "RPR000"
+PSEUDO_RULES: dict[str, tuple[str, str]] = {
+    PARSE_RULE_ID: (
+        "source file could not be parsed",
+        "fix the syntax error; every other file was still analyzed",
+    ),
+}
 
 
-def register_rule(cls: type[Rule]) -> type[Rule]:
+def register_rule(
+    cls: type[Rule] | type[ProgramRule],
+) -> type[Rule] | type[ProgramRule]:
     """Class decorator adding a rule to the engine's registry."""
     if not cls.rule_id:
         raise CheckError(f"rule class {cls.__name__} has no rule_id")
-    if cls.rule_id in RULE_CLASSES:
+    if cls.rule_id in RULE_CLASSES or cls.rule_id in PSEUDO_RULES:
         raise CheckError(f"duplicate rule id {cls.rule_id}")
     RULE_CLASSES[cls.rule_id] = cls
     return cls
@@ -180,22 +239,54 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
 
 def available_rules() -> list[tuple[str, str]]:
     """``(rule_id, title)`` pairs for every registered rule, sorted."""
-    return [
-        (rule_id, RULE_CLASSES[rule_id].title) for rule_id in sorted(RULE_CLASSES)
-    ]
+    catalog = {rule_id: cls.title for rule_id, cls in RULE_CLASSES.items()}
+    catalog.update(
+        {rule_id: title for rule_id, (title, _) in PSEUDO_RULES.items()}
+    )
+    return sorted(catalog.items())
 
 
-def _select_rules(rules: Sequence[str] | None) -> list[Rule]:
+def parse_failure_finding(display_path: str, error: str) -> Finding:
+    """The RPR000 finding for one unparseable file."""
+    title, hint = PSEUDO_RULES[PARSE_RULE_ID]
+    line = 1
+    match = re.search(r"line (\d+)", error)
+    if match is not None:
+        line = max(1, int(match.group(1)))
+    return Finding(
+        path=display_path,
+        line=line,
+        col=1,
+        rule_id=PARSE_RULE_ID,
+        message=f"{title}: {error}",
+        hint=hint,
+    )
+
+
+def _select_rules(
+    rules: Sequence[str] | None,
+) -> tuple[list[Rule], list[ProgramRule]]:
+    """Instantiate the selected rules, split by kind."""
     if rules is None:
         selected = sorted(RULE_CLASSES)
     else:
-        selected = list(rules)
+        selected = [rule_id for rule_id in rules if rule_id not in PSEUDO_RULES]
         unknown = sorted(set(selected) - set(RULE_CLASSES))
         if unknown:
             raise CheckError(
-                f"unknown rule(s) {unknown}; available: {sorted(RULE_CLASSES)}"
+                f"unknown rule(s) {unknown}; available: "
+                f"{sorted([*RULE_CLASSES, *PSEUDO_RULES])}"
             )
-    return [RULE_CLASSES[rule_id]() for rule_id in selected]
+    file_rules: list[Rule] = []
+    program_rules: list[ProgramRule] = []
+    for rule_id in selected:
+        cls = RULE_CLASSES[rule_id]
+        instance = cls()
+        if isinstance(instance, Rule):
+            file_rules.append(instance)
+        else:
+            program_rules.append(instance)
+    return file_rules, program_rules
 
 
 def _collect_files(paths: Iterable[str | Path]) -> tuple[list[Path], list[Path]]:
@@ -224,29 +315,72 @@ def _collect_files(paths: Iterable[str | Path]) -> tuple[list[Path], list[Path]]
     return python_files, json_files
 
 
+def run_file_rules(ctx: FileContext, rules: Sequence[Rule]) -> list[Finding]:
+    """Run the per-file rules over one context (no cross-file state)."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            findings.extend(rule.run(ctx))
+    return findings
+
+
+def run_program_rules(
+    graph: "ProgramGraph", rules: Sequence[ProgramRule]
+) -> list[Finding]:
+    """Run every selected whole-program rule over one built graph."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run_program(graph))
+    return findings
+
+
+def graph_from_contexts(contexts: Sequence[FileContext]) -> "ProgramGraph":
+    """Build the program graph for already-parsed file contexts."""
+    from .graph import ProgramGraph, extract_summary
+
+    summaries = [extract_summary(ctx.tree, ctx.source) for ctx in contexts]
+    return ProgramGraph.build(summaries, [ctx.display_path for ctx in contexts])
+
+
+def check_sources(
+    files: Mapping[str, str],
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules over an in-memory multi-file tree.
+
+    ``files`` maps display paths to sources; the paths participate in
+    rule scoping (``core/x.py`` is simulation-core code, ``serve/app.
+    py`` is serving code) and in the module naming of the program
+    graph, which makes this the natural entry point for whole-program
+    fixture tests.
+    """
+    file_rules, program_rules = _select_rules(rules)
+    contexts: list[FileContext] = []
+    for filename, source in files.items():
+        try:
+            ctx = FileContext(Path(filename), source, display_path=filename)
+        except SyntaxError as exc:
+            raise CheckError(f"{filename}: syntax error: {exc}") from exc
+        contexts.append(ctx)
+    findings: list[Finding] = []
+    for ctx in contexts:
+        findings.extend(run_file_rules(ctx, file_rules))
+    for rule in file_rules:
+        findings.extend(rule.finish())
+    if program_rules:
+        findings.extend(
+            run_program_rules(graph_from_contexts(contexts), program_rules)
+        )
+    return sorted(findings, key=Finding.sort_key)
+
+
 def check_source(
     source: str,
     filename: str = "<string>",
     rules: Sequence[str] | None = None,
 ) -> list[Finding]:
-    """Run the selected rules over one in-memory source snippet.
-
-    ``filename`` participates in rule scoping (``core/x.py`` is treated
-    as simulation-core code), which makes this the natural entry point
-    for fixture-based tests.
-    """
-    instances = _select_rules(rules)
-    try:
-        ctx = FileContext(Path(filename), source, display_path=filename)
-    except SyntaxError as exc:
-        raise CheckError(f"{filename}: syntax error: {exc}") from exc
-    findings: list[Finding] = []
-    for rule in instances:
-        if rule.applies_to(ctx):
-            findings.extend(rule.run(ctx))
-    for rule in instances:
-        findings.extend(rule.finish())
-    return sorted(findings, key=Finding.sort_key)
+    """Run the selected rules over one in-memory source snippet."""
+    return check_sources({filename: source}, rules=rules)
 
 
 def check_paths(
@@ -259,31 +393,15 @@ def check_paths(
     as run manifests, or as scenarios when they carry the
     ``repro_scenario`` marker (see :mod:`repro.checks.invariants`).
     Returns every finding, sorted by location. Raises
-    :class:`CheckError` for missing paths, unknown rules, or
-    unparseable sources.
+    :class:`CheckError` for missing paths and unknown rules; a file
+    that fails to parse becomes an ``RPR000`` finding rather than
+    aborting the run. This is the simple serial entry point — the CLI
+    runs the same pipeline through :mod:`repro.checks.driver`, which
+    adds the incremental cache and parallel file analysis.
     """
-    from .invariants import check_json_file
+    from .driver import analyze_paths
 
-    instances = _select_rules(rules)
-    python_files, json_files = _collect_files(paths)
-    findings: list[Finding] = []
-    for path in python_files:
-        try:
-            source = path.read_text()
-        except (OSError, UnicodeDecodeError) as exc:
-            raise CheckError(f"cannot read {path}: {exc}") from exc
-        try:
-            ctx = FileContext(path, source)
-        except SyntaxError as exc:
-            raise CheckError(f"{path}: syntax error: {exc}") from exc
-        for rule in instances:
-            if rule.applies_to(ctx):
-                findings.extend(rule.run(ctx))
-    for rule in instances:
-        findings.extend(rule.finish())
-    for path in json_files:
-        findings.extend(check_json_file(path))
-    return sorted(findings, key=Finding.sort_key)
+    return analyze_paths(paths, rules=rules).findings
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,170 @@
+"""RPR012 — reference/vectorized engine kernel-signature parity.
+
+The engine seam (PR 6) promises that every batched kernel has a scalar
+twin with identical semantics: experiments digest identically under
+``engine="reference"`` and ``engine="vectorized"``. That promise is
+only auditable if the two surfaces are *forced* to line up. The
+``repro.engine`` package therefore ships a ``reference`` module whose
+public functions are the scalar twins of the batched kernel surface
+(the executable specification the bit-exactness tests compare
+against), and this rule enforces the pairing program-wide:
+
+- every public kernel exported by an engine kernel module
+  (``curves``/``controller``/``probe``/``mess``/``dram`` — everything
+  in the package except ``__init__``, shared ``kernels`` primitives
+  and ``reference`` itself) must exist in ``reference`` with the same
+  parameter names in the same order;
+- every public function of ``reference`` must pair with a batched
+  kernel, so a new scalar path cannot land without its batched twin
+  (and vice versa).
+
+A module's surface is its ``__all__`` when declared, otherwise its
+public (non-underscore) top-level functions.
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, ProgramRule, register_rule
+from .graph import FunctionSummary, ModuleSummary, ProgramGraph, site_suppressed
+
+#: Engine-package module basenames that are not paired kernel modules.
+NON_KERNEL_BASENAMES = frozenset({"__init__.py", "kernels.py", "reference.py"})
+
+#: The scalar-twin module's basename inside an engine package.
+REFERENCE_BASENAME = "reference.py"
+
+
+def _basename(module: ModuleSummary) -> str:
+    return module.display_path.replace("\\", "/").rsplit("/", 1)[-1]
+
+
+def _surface(module: ModuleSummary) -> dict[str, FunctionSummary]:
+    """Public kernel functions of one module, by name."""
+    functions = {
+        fn.name: fn for fn in module.functions if fn.cls is None
+    }
+    if module.exports is not None:
+        return {
+            name: functions[name]
+            for name in module.exports
+            if name in functions
+        }
+    return {
+        name: fn for name, fn in functions.items() if not name.startswith("_")
+    }
+
+
+def _signature(fn: FunctionSummary) -> str:
+    parts = list(fn.params)
+    if fn.has_vararg:
+        parts.append("*args")
+    if fn.kwonly:
+        if not fn.has_vararg:
+            parts.append("*")
+        parts.extend(fn.kwonly)
+    if fn.has_kwarg:
+        parts.append("**kwargs")
+    return f"({', '.join(parts)})"
+
+
+@register_rule
+class EngineKernelParityRule(ProgramRule):
+    rule_id = "RPR012"
+    title = "engine kernel without a matching reference/vectorized twin"
+    hint = (
+        "every batched kernel needs a scalar twin of the same name and "
+        "signature in the engine package's reference module (and vice "
+        "versa) so the bit-exactness contract stays auditable"
+    )
+
+    def run_program(self, graph: ProgramGraph) -> list[Finding]:
+        packages: dict[str, dict[str, ModuleSummary]] = {}
+        for name, module in graph.modules.items():
+            if "engine" not in module.parts:
+                continue
+            package = name.rsplit(".", 1)[0] if "." in name else ""
+            packages.setdefault(package, {})[_basename(module)] = module
+
+        findings: list[Finding] = []
+        for package in sorted(packages):
+            modules = packages[package]
+            kernel_modules = {
+                base: module
+                for base, module in modules.items()
+                if base not in NON_KERNEL_BASENAMES
+            }
+            if not kernel_modules:
+                continue
+            reference = modules.get(REFERENCE_BASENAME)
+            if reference is None:
+                for base in sorted(kernel_modules):
+                    module = kernel_modules[base]
+                    findings.append(
+                        self.finding(
+                            path=module.display_path,
+                            line=1,
+                            col=1,
+                            message=(
+                                f"engine kernel module {base!r} has no "
+                                "sibling reference module exposing the "
+                                "scalar twin surface"
+                            ),
+                        )
+                    )
+                continue
+            reference_surface = _surface(reference)
+            vectorized_surface: dict[str, tuple[ModuleSummary, FunctionSummary]] = {}
+            for base in sorted(kernel_modules):
+                module = kernel_modules[base]
+                for name, fn in _surface(module).items():
+                    vectorized_surface.setdefault(name, (module, fn))
+
+            for name in sorted(vectorized_surface):
+                module, fn = vectorized_surface[name]
+                if site_suppressed(fn.suppress, self.rule_id):
+                    continue
+                twin = reference_surface.get(name)
+                if twin is None:
+                    findings.append(
+                        self.finding(
+                            path=module.display_path,
+                            line=fn.lineno,
+                            col=fn.col,
+                            message=(
+                                f"batched kernel {name!r} has no scalar twin "
+                                f"in {reference.display_path}"
+                            ),
+                        )
+                    )
+                elif _signature(twin) != _signature(fn):
+                    findings.append(
+                        self.finding(
+                            path=module.display_path,
+                            line=fn.lineno,
+                            col=fn.col,
+                            message=(
+                                f"kernel {name!r} signature {_signature(fn)} "
+                                "does not match its scalar twin "
+                                f"{_signature(twin)} in "
+                                f"{reference.display_path}"
+                            ),
+                        )
+                    )
+            for name in sorted(reference_surface):
+                if name in vectorized_surface:
+                    continue
+                fn = reference_surface[name]
+                if site_suppressed(fn.suppress, self.rule_id):
+                    continue
+                findings.append(
+                    self.finding(
+                        path=reference.display_path,
+                        line=fn.lineno,
+                        col=fn.col,
+                        message=(
+                            f"scalar kernel {name!r} has no batched twin in "
+                            "the engine kernel modules"
+                        ),
+                    )
+                )
+        return findings

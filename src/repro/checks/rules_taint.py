@@ -1,0 +1,117 @@
+"""RPR010 — interprocedural digest-determinism taint.
+
+RPR002 flags entropy and wall-clock reads *inside* the simulation-core
+packages, one file at a time. But the invariant the content-addressed
+cache and the golden-digest table actually rely on is interprocedural:
+*anything transitively reachable* from ``Scenario.digest()`` / the
+canonical spec encoding, or from the deterministic simulation core,
+must stay deterministic — including helpers that live outside
+``core/dram/cpu/memmodels`` where RPR002 never looks.
+
+This rule walks the approximate call graph from two root sets:
+
+- **digest roots** — every function named ``digest``, ``spec_digest``,
+  ``canonical_json`` or ``to_spec`` (the cache-identity surface); and
+- **core roots** — every function defined inside
+  :data:`~repro.checks.engine.DETERMINISTIC_PACKAGES`.
+
+Any reached function containing a determinism sink — wall-clock or
+entropy calls, ``os.environ`` reads, iteration over an unsorted set,
+or (for digest roots only) ``repr()`` of a non-string value, whose
+output must never feed a canonical encoding — is reported with a
+witness call chain. Sinks *inside* the deterministic packages are
+RPR002's per-file territory and are skipped here, so each violation is
+reported exactly once.
+
+Taint never enters the telemetry package (wall-clock by design: its
+records are not digest inputs), the checks package itself, or test
+code.
+"""
+
+from __future__ import annotations
+
+from .dataflow import ReachabilityWalk
+from .engine import DETERMINISTIC_PACKAGES, Finding, ProgramRule, register_rule
+from .graph import ProgramGraph, site_suppressed
+
+#: Function names forming the cache-identity (digest) root set.
+DIGEST_ROOT_NAMES = frozenset(
+    {"digest", "spec_digest", "canonical_json", "to_spec"}
+)
+
+#: Packages taint never propagates into (nor reports sinks from).
+EXEMPT_PARTS = frozenset({"telemetry", "checks", "tests"})
+
+
+@register_rule
+class DigestDeterminismTaintRule(ProgramRule):
+    rule_id = "RPR010"
+    title = "nondeterminism reachable from digest-critical code"
+    hint = (
+        "every function reachable from Scenario.digest()/spec encoding or "
+        "the simulation core must be deterministic; thread a seed/clock "
+        "through the configuration, sort the iteration, or justify with "
+        "# repro: ignore[RPR010]"
+    )
+
+    def _exempt(self, graph: ProgramGraph, fid: str) -> bool:
+        module = graph.modules.get(graph.owner.get(fid, ""))
+        return module is not None and bool(module.parts & EXEMPT_PARTS)
+
+    def run_program(self, graph: ProgramGraph) -> list[Finding]:
+        digest_roots = [
+            fid
+            for fid, fn in graph.functions.items()
+            if fn.name in DIGEST_ROOT_NAMES
+            and not self._exempt(graph, fid)
+        ]
+        core_roots = [
+            fid
+            for fid in graph.functions
+            if self._core_module(graph, fid)
+        ]
+        stop = lambda fid: self._exempt(graph, fid)  # noqa: E731
+        digest_walk = ReachabilityWalk(graph, sorted(digest_roots), stop=stop)
+        core_walk = ReachabilityWalk(graph, sorted(core_roots), stop=stop)
+
+        findings: list[Finding] = []
+        seen: set[tuple[str, int, int, str]] = set()
+        for fid in sorted(digest_walk.reached | core_walk.reached):
+            if self._core_module(graph, fid):
+                continue  # RPR002's per-file territory
+            fn = graph.functions[fid]
+            module = graph.modules[graph.owner[fid]]
+            for sink in fn.sinks:
+                from_digest = fid in digest_walk.reached
+                if sink.kind == "float-repr" and not from_digest:
+                    continue
+                if site_suppressed(sink.suppress, self.rule_id):
+                    continue
+                key = (module.display_path, sink.lineno, sink.col, sink.kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                walk = digest_walk if from_digest else core_walk
+                root_kind = (
+                    "the digest/canonical-encoding surface"
+                    if from_digest
+                    else "the deterministic simulation core"
+                )
+                findings.append(
+                    self.finding(
+                        path=module.display_path,
+                        line=sink.lineno,
+                        col=sink.col,
+                        message=(
+                            f"{sink.detail} ({sink.kind}) is reachable from "
+                            f"{root_kind}: {walk.describe_chain(fid)}"
+                        ),
+                    )
+                )
+        return findings
+
+    def _core_module(self, graph: ProgramGraph, fid: str) -> bool:
+        module = graph.modules.get(graph.owner.get(fid, ""))
+        return module is not None and bool(
+            module.parts & DETERMINISTIC_PACKAGES
+        )

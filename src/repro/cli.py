@@ -107,11 +107,18 @@ from pathlib import Path
 from . import engine as engine_mod
 from . import telemetry
 from .bench.harness import MessBenchmarkConfig
-from .checks import available_rules, run_checks
+from .checks import (
+    analyze_paths,
+    available_rules,
+    compare as compare_baseline,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
 from .core.metrics import compute_metrics
 from .cpu.system import SystemConfig
 from .dram.timing import PRESETS, preset
-from .errors import ConfigurationError, MessError
+from .errors import CheckError, ConfigurationError, MessError
 from .experiments.registry import SPECS, experiment_ids
 from .platforms.presets import (
     TABLE_I_PLATFORMS,
@@ -559,18 +566,69 @@ def _cmd_check(args: argparse.Namespace) -> int:
     # Default target: the installed package itself, so `repro check`
     # works from any checkout layout (and from an installed wheel).
     paths = args.paths or [str(Path(__file__).parent)]
-    findings = run_checks(paths, rules=rules)
-    if args.format == "json":
+    try:
+        report = analyze_paths(
+            paths,
+            rules=rules,
+            jobs=args.jobs or None,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            changed_only=args.changed_only,
+            since=args.since,
+        )
+    except CheckError as exc:
+        # usage/configuration errors exit 2; findings exit 1
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = report.findings
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"baseline with {len(findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    baselined = 0
+    stale = 0
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except CheckError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        comparison = compare_baseline(findings, accepted)
+        findings = comparison.new
+        baselined = len(comparison.baselined)
+        stale = comparison.stale
+
+    if args.format == "sarif":
+        print(render_sarif(findings), end="")
+    elif args.format == "json":
         print(json.dumps([finding.to_dict() for finding in findings], indent=2))
     else:
         for finding in findings:
             print(finding.format())
         noun = "finding" if len(findings) == 1 else "findings"
         scope = ", ".join(paths)
+        qualifier = " new" if args.baseline else ""
+        detail = []
+        if baselined:
+            detail.append(f"{baselined} baselined")
+        if stale:
+            detail.append(f"{stale} stale baseline entr{'y' if stale == 1 else 'ies'}: tighten with --write-baseline")
+        if report.changed_only:
+            detail.append("changed files only")
+        if report.files_from_cache:
+            detail.append(
+                f"{report.files_from_cache}/{report.files_scanned} files from cache"
+            )
+        suffix = f" ({'; '.join(detail)})" if detail else ""
         if findings:
-            print(f"{len(findings)} {noun} in {scope}")
+            print(f"{len(findings)}{qualifier} {noun} in {scope}{suffix}")
         else:
-            print(f"clean: no findings in {scope}")
+            print(f"clean: no{qualifier} findings in {scope}{suffix}")
     return 1 if findings else 0
 
 
@@ -1050,14 +1108,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="findings output format",
+        help="findings output format (sarif = SARIF 2.1.0 for code scanning)",
     )
     check_parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list available rule ids and exit",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="compare findings against an accepted-findings baseline; "
+        "only new findings fail the run",
+    )
+    check_parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="snapshot the current findings as the accepted baseline and exit 0",
+    )
+    check_parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed relative to --since "
+        "(the whole tree is still analyzed, so cross-file rules stay sound)",
+    )
+    check_parser.add_argument(
+        "--since",
+        metavar="REF",
+        default=None,
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    check_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for file analysis (0 = auto)",
+    )
+    check_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-digest incremental analysis cache",
+    )
+    check_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="analysis cache location (default: .repro-cache/checks)",
     )
     check_parser.set_defaults(func=_cmd_check)
 

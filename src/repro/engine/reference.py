@@ -1,0 +1,312 @@
+"""Scalar twins of the batched engine kernels (the parity surface).
+
+Every batched kernel in this package claims bit-exactness with a
+scalar computation. This module *is* that claim, written down as code:
+for each public kernel exported by ``curves``/``controller``/``probe``/
+``mess``/``dram`` there is a function here with the same name and the
+same signature whose body is the plain scalar loop (or a delegation to
+the pre-engine scalar implementation, where one already exists —
+``bench.model_probe.probe_point``, ``traces.driver``).
+
+Three consumers rely on this surface:
+
+- the equivalence tests compare each batched kernel against its twin
+  here, element for element, instead of re-deriving the scalar
+  arithmetic inside the test;
+- ``repro check``'s RPR012 rule enforces that the two surfaces stay in
+  lock-step — a new batched kernel cannot land without its scalar twin
+  and vice versa, and a signature drift is a finding;
+- readers get the semantics of each kernel in ~10 lines of loop
+  instead of a page of vectorization argument.
+
+The twins favour obviousness over speed on purpose: sequential
+accumulation, one ``latency_at`` per element, one ``decode`` per
+address. They are the *specification*; the batched modules are the
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..bench.model_probe import probe_point
+from ..core.controller import PIController
+from ..core.curve import BandwidthLatencyCurve
+from ..core.family import CurveFamily
+from ..core.simulator import MessMemorySimulator
+from ..dram.address import AddressMapper
+from ..dram.controller import DramController
+from ..dram.timing import DramTiming
+from ..errors import CurveError
+from ..request import AccessType, MemoryRequest
+from ..traces.driver import ReplayResult, replay_trace_frfcfs
+from ..units import CACHE_LINE_BYTES
+
+
+# --- curves -----------------------------------------------------------
+
+
+def curve_latency_batch(
+    curve: BandwidthLatencyCurve, bandwidth_gbps: np.ndarray
+) -> np.ndarray:
+    """One ``curve.latency_at`` call per element."""
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    return np.array(
+        [curve.latency_at(float(b)) for b in bw.ravel()], dtype=float
+    ).reshape(bw.shape)
+
+
+def family_latency_batch(
+    family: CurveFamily,
+    bandwidth_gbps: np.ndarray,
+    read_ratio: float,
+    interpolate: bool = True,
+) -> np.ndarray:
+    """One ``family.latency_at`` call per element."""
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    return np.array(
+        [
+            family.latency_at(float(b), read_ratio, interpolate=interpolate)
+            for b in bw.ravel()
+        ],
+        dtype=float,
+    ).reshape(bw.shape)
+
+
+def family_latency_grid(
+    family: CurveFamily,
+    bandwidth_gbps: np.ndarray,
+    read_ratios: np.ndarray,
+) -> np.ndarray:
+    """The double scalar loop over ``family.latency_at``."""
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    ratios = np.asarray(read_ratios, dtype=float)
+    out = np.empty((ratios.size, bw.size), dtype=float)
+    for row, ratio in enumerate(ratios):
+        for col, b in enumerate(bw):
+            out[row, col] = family.latency_at(float(b), float(ratio))
+    return out
+
+
+def curve_inclination_batch(
+    curve: BandwidthLatencyCurve,
+    bandwidth_gbps: np.ndarray,
+    delta_gbps: float = 1.0,
+) -> np.ndarray:
+    """One ``curve.inclination_at`` call per element."""
+    if delta_gbps <= 0:
+        raise CurveError(f"delta_gbps must be positive, got {delta_gbps}")
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    return np.array(
+        [curve.inclination_at(float(b), delta_gbps) for b in bw.ravel()],
+        dtype=float,
+    ).reshape(bw.shape)
+
+
+def family_inclination_batch(
+    family: CurveFamily, bandwidth_gbps: np.ndarray, read_ratio: float
+) -> np.ndarray:
+    """One ``family.inclination_at`` call per element."""
+    bw = np.asarray(bandwidth_gbps, dtype=float)
+    return np.array(
+        [family.inclination_at(float(b), read_ratio) for b in bw.ravel()],
+        dtype=float,
+    ).reshape(bw.shape)
+
+
+# --- controller -------------------------------------------------------
+
+
+def controller_trajectory(
+    observations: np.ndarray,
+    estimate: float = 0.0,
+    convergence_factor: float = 0.5,
+    integral_gain: float = 0.0,
+    integral_limit: float = 1e6,
+) -> np.ndarray:
+    """Step a fresh :class:`PIController` through the observations."""
+    controller = PIController(
+        convergence_factor=convergence_factor,
+        integral_gain=integral_gain,
+        integral_limit=integral_limit,
+    )
+    obs = np.asarray(observations, dtype=float)
+    out = np.empty(obs.size, dtype=float)
+    est = float(estimate)
+    for index in range(obs.size):
+        est = controller.update(est, float(obs[index]))
+        out[index] = est
+    return out
+
+
+def window_bandwidths(
+    issue_times_ns: np.ndarray,
+    bytes_per_op: int,
+    window_ops: int,
+) -> np.ndarray:
+    """Per-window ``bytes / elapsed`` computed one window at a time."""
+    t = np.asarray(issue_times_ns, dtype=float)
+    complete = t.size // window_ops
+    out = np.empty(complete, dtype=float)
+    total = float(bytes_per_op * window_ops)
+    for window in range(complete):
+        start = float(t[window * window_ops])
+        end = float(t[window * window_ops + window_ops - 1])
+        elapsed = end - start
+        out[window] = total / elapsed if elapsed > 0 else float("nan")
+    return out
+
+
+# --- probe ------------------------------------------------------------
+
+
+def issue_schedule(ops: int, gap_ns: float, start_ns: float = 0.0) -> np.ndarray:
+    """The literal ``now += gap`` accumulation."""
+    if ops < 1:
+        return np.empty(0, dtype=float)
+    out = np.empty(ops, dtype=float)
+    now = start_ns
+    for index in range(ops):
+        out[index] = now
+        now += gap_ns
+    return out
+
+
+def bresenham_reads(ops: int, read_ratio: float) -> np.ndarray:
+    """The scalar Bresenham interleave, one round() per request."""
+    out = np.empty(ops, dtype=bool)
+    reads_acc = 0.0
+    for index in range(ops):
+        target = round((index + 1) * read_ratio)
+        out[index] = target > reads_acc
+        reads_acc = target
+    return out
+
+
+def stream_addresses(
+    ops: int, streams: int, stream_bytes: int
+) -> np.ndarray:
+    """Round-robin stream addresses, one request at a time."""
+    stream_lines = stream_bytes // CACHE_LINE_BYTES
+    out = np.empty(ops, dtype=np.int64)
+    for index in range(ops):
+        stream = index % streams
+        position = (index // streams) % stream_lines
+        out[index] = stream * stream_bytes + position * CACHE_LINE_BYTES
+    return out
+
+
+def cap_never_stalls(
+    t: np.ndarray, completions: np.ndarray, max_outstanding: int
+) -> bool:
+    """Scalar running-max check of the closed-loop cap bound."""
+    m = max_outstanding
+    if t.size <= m:
+        return True
+    ceiling = float("-inf")
+    for index in range(m, t.size):
+        ceiling = max(ceiling, float(completions[index - m]))
+        if ceiling > float(t[index]):
+            return False
+    return True
+
+
+def sequential_sum(values: np.ndarray) -> float:
+    """The literal left-to-right ``+=`` accumulation."""
+    total = 0.0
+    for value in np.asarray(values, dtype=float):
+        total += float(value)
+    return total
+
+
+def probe_point_vectorized(model, read_ratio: float, gap_ns: float, config):
+    """The scalar probe — the pre-engine implementation, unchanged."""
+    return probe_point(model, read_ratio, gap_ns, config)
+
+
+# --- mess -------------------------------------------------------------
+
+
+def drive_fixed_rate(
+    simulator: MessMemorySimulator,
+    gap_ns: float,
+    ops: int,
+    address_lines: int = 65536,
+    start_ns: float = 0.0,
+) -> float:
+    """The scalar one-request-at-a-time drive loop."""
+    if ops < 1:
+        return start_ns
+    now = start_ns
+    for index in range(ops):
+        simulator.access(
+            MemoryRequest(
+                address=(index % address_lines) * CACHE_LINE_BYTES,
+                access_type=AccessType.READ,
+                issue_time_ns=now,
+            )
+        )
+        now += gap_ns
+    return now
+
+
+# --- dram -------------------------------------------------------------
+
+
+def decode_addresses(
+    mapper: AddressMapper, addresses: np.ndarray
+) -> dict[str, np.ndarray]:
+    """One ``mapper.decode`` per address."""
+    addr = np.asarray(addresses, dtype=np.int64)
+    if addr.size and int(addr.min()) < 0:
+        raise ValueError("addresses must be non-negative")
+    fields = ("channel", "rank", "bank", "row", "column")
+    out = {name: np.empty(addr.size, dtype=np.int64) for name in fields}
+    for index in range(addr.size):
+        decoded = mapper.decode(int(addr[index]))
+        for name in fields:
+            out[name][index] = getattr(decoded, name)
+    return out
+
+
+def frfcfs_replay(
+    timing: DramTiming,
+    channels: int,
+    records: Sequence,
+    pressure: float = 1.0,
+    window: int = 16,
+    page_policy: str = "open",
+    write_queue_depth: int = 32,
+) -> ReplayResult:
+    """The replay driver itself is the reference path; same seam."""
+    controller = DramController(
+        timing,
+        channels=channels,
+        page_policy=page_policy,
+        write_queue_depth=write_queue_depth,
+    )
+    return replay_trace_frfcfs(
+        controller, records, pressure=pressure, window=window
+    )
+
+
+__all__ = [
+    "bresenham_reads",
+    "cap_never_stalls",
+    "controller_trajectory",
+    "curve_inclination_batch",
+    "curve_latency_batch",
+    "decode_addresses",
+    "drive_fixed_rate",
+    "family_inclination_batch",
+    "family_latency_batch",
+    "family_latency_grid",
+    "frfcfs_replay",
+    "issue_schedule",
+    "probe_point_vectorized",
+    "sequential_sum",
+    "stream_addresses",
+    "window_bandwidths",
+]

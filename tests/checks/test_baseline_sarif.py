@@ -1,0 +1,120 @@
+"""Baseline ratchet round-trip and SARIF 2.1.0 serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checks.baseline import compare, load_baseline, write_baseline
+from repro.checks.engine import Finding
+from repro.checks.sarif import fingerprint, render_sarif, to_sarif
+from repro.errors import CheckError
+
+
+def finding(path="src/x.py", line=3, rule="RPR001", message="mixed units"):
+    return Finding(
+        path=path, line=line, col=1, rule_id=rule, message=message,
+        hint="use repro.units",
+    )
+
+
+class TestBaseline:
+    def test_round_trip_baselines_everything(self, tmp_path):
+        findings = [finding(), finding(rule="RPR005", message="float ==")]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        comparison = compare(findings, load_baseline(path))
+        assert comparison.new == []
+        assert len(comparison.baselined) == 2
+        assert comparison.stale == 0
+
+    def test_new_finding_is_not_baselined(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        fresh = finding(path="src/y.py", message="other problem")
+        comparison = compare([finding(), fresh], load_baseline(path))
+        assert comparison.new == [fresh]
+
+    def test_line_moves_do_not_invalidate_the_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding(line=3)])
+        comparison = compare([finding(line=40)], load_baseline(path))
+        assert comparison.new == []
+
+    def test_counts_ratchet_duplicate_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        # a second identical finding appears: one slot, two findings
+        comparison = compare([finding(), finding()], load_baseline(path))
+        assert len(comparison.new) == 1
+        assert len(comparison.baselined) == 1
+
+    def test_fixed_findings_surface_as_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding(), finding(rule="RPR005")])
+        comparison = compare([finding()], load_baseline(path))
+        assert comparison.stale == 1
+
+    def test_malformed_baseline_is_a_check_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{}")
+        with pytest.raises(CheckError):
+            load_baseline(path)
+
+    def test_missing_baseline_is_a_check_error(self, tmp_path):
+        with pytest.raises(CheckError):
+            load_baseline(tmp_path / "absent.json")
+
+
+class TestSarif:
+    def test_log_shape_and_rule_table(self):
+        findings = [finding(), finding(rule="RPR005", message="float ==")]
+        log = to_sarif(findings)
+        assert log["version"] == "2.1.0"
+        assert "2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        assert [r["id"] for r in driver["rules"]] == ["RPR001", "RPR005"]
+        assert len(run["results"]) == 2
+
+    def test_result_location_is_one_based(self):
+        log = to_sarif([finding(line=3)])
+        region = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] == 1
+
+    def test_rule_index_points_into_rules_array(self):
+        findings = [finding(rule="RPR005"), finding(rule="RPR001")]
+        log = to_sarif(findings)
+        (run,) = log["runs"]
+        for result in run["results"]:
+            descriptor = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+            assert descriptor["id"] == result["ruleId"]
+
+    def test_fingerprints_are_stable_across_line_moves(self):
+        assert fingerprint(finding(line=3)) == fingerprint(finding(line=99))
+        assert fingerprint(finding()) != fingerprint(
+            finding(message="different")
+        )
+
+    def test_render_is_valid_json(self):
+        payload = json.loads(render_sarif([finding()]))
+        assert payload["runs"][0]["results"][0]["ruleId"] == "RPR001"
+
+    def test_empty_findings_still_produce_a_valid_run(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_validates_against_sarif_schema_if_available(self):
+        schema_path = "tests/checks/data/sarif-schema-2.1.0.json"
+        jsonschema = pytest.importorskip("jsonschema")
+        try:
+            schema = json.loads(open(schema_path).read())
+        except OSError:
+            pytest.skip("no local SARIF schema copy")
+        jsonschema.validate(to_sarif([finding()]), schema)

@@ -45,15 +45,16 @@ def test_check_rule_selection(tmp_path, capsys):
 
 
 def test_check_missing_path_is_one_line_error(capsys):
-    # Satellite contract: non-zero exit, one-line error, no traceback.
-    assert main(["check", "/no/such/path"]) == 1
+    # Satellite contract: usage errors exit 2 (findings exit 1),
+    # one-line error, no traceback.
+    assert main(["check", "/no/such/path"]) == 2
     captured = capsys.readouterr()
     assert captured.err.startswith("error: ")
     assert "Traceback" not in captured.err
 
 
 def test_check_unknown_rule_is_one_line_error(capsys):
-    assert main(["check", "--rules", "RPR999", "src"]) == 1
+    assert main(["check", "--rules", "RPR999", "src"]) == 2
     assert capsys.readouterr().err.startswith("error: ")
 
 
@@ -88,7 +89,7 @@ def test_telemetry_summarize_binary_file_is_one_line_error(tmp_path, capsys):
 def test_check_rejects_unknown_file_kind(tmp_path, capsys):
     target = tmp_path / "notes.txt"
     target.write_text("hello")
-    assert main(["check", str(target)]) == 1
+    assert main(["check", str(target)]) == 2
     assert capsys.readouterr().err.startswith("error: ")
 
 

@@ -1,0 +1,152 @@
+"""Driver pipeline: incremental cache, parse failures, changed-only."""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.cache import AnalysisCache, source_digest
+from repro.checks.driver import analyze_paths
+
+CLEAN = "total_ns = a_ns + b_ns\n"
+DIRTY = "x = latency_ns + cas_cycles\n"
+
+
+def test_report_counts_cold_then_warm(tmp_path):
+    (tmp_path / "a.py").write_text(CLEAN)
+    (tmp_path / "b.py").write_text(DIRTY)
+    cache = AnalysisCache(tmp_path / "cache")
+    cold = analyze_paths([tmp_path / "a.py", tmp_path / "b.py"], cache=cache)
+    assert cold.files_scanned == 2
+    assert cold.files_reanalyzed == 2
+    assert cold.files_from_cache == 0
+    assert [f.rule_id for f in cold.findings] == ["RPR001"]
+
+    warm = analyze_paths([tmp_path / "a.py", tmp_path / "b.py"], cache=cache)
+    assert warm.files_reanalyzed == 0
+    assert warm.files_from_cache == 2
+    # cached findings are identical to fresh ones, path included
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text(CLEAN)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths([target], cache=cache)
+    target.write_text(DIRTY)
+    changed = analyze_paths([target], cache=cache)
+    assert changed.files_reanalyzed == 1
+    assert [f.rule_id for f in changed.findings] == ["RPR001"]
+
+
+def test_cache_key_depends_on_rule_selection(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text(DIRTY)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths([target], rules=["RPR005"], cache=cache)
+    # same content, different rules: must NOT reuse the RPR005 entry
+    full = analyze_paths([target], cache=cache)
+    assert full.files_reanalyzed == 1
+    assert [f.rule_id for f in full.findings] == ["RPR001"]
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text(DIRTY)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths([target], cache=cache)
+    for entry in (tmp_path / "cache").rglob("*.json"):
+        entry.write_text("{not json")
+    again = analyze_paths([target], cache=cache)
+    assert again.files_reanalyzed == 1
+    assert [f.rule_id for f in again.findings] == ["RPR001"]
+
+
+def test_parse_failure_is_a_finding_not_an_abort(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    (tmp_path / "bad.py").write_text(DIRTY)
+    report = analyze_paths([tmp_path], use_cache=False)
+    rules = [f.rule_id for f in report.findings]
+    assert "RPR000" in rules and "RPR001" in rules
+    assert report.parse_failures == 1
+    rpr000 = next(f for f in report.findings if f.rule_id == "RPR000")
+    assert rpr000.line == 1
+    assert "broken.py" in rpr000.path
+
+
+def test_cross_file_duplicate_ids_survive_the_cache(tmp_path):
+    # RPR004's duplicate-experiment-id check spans files; a warm cache
+    # must not blind it.
+    experiments = tmp_path / "experiments"
+    experiments.mkdir()
+    module = (
+        "from .registry import register\n"
+        "@register('fig1', cost='cheap')\n"
+        "def run(scale=1.0):\n"
+        "    pass\n"
+    )
+    (experiments / "fig1.py").write_text(module)
+    (experiments / "fig2.py").write_text(module)
+    cache = AnalysisCache(tmp_path / "cache")
+    cold = analyze_paths([experiments], cache=cache)
+    warm = analyze_paths([experiments], cache=cache)
+    cold_dups = [f for f in cold.findings if "duplicate" in f.message]
+    warm_dups = [f for f in warm.findings if "duplicate" in f.message]
+    assert len(cold_dups) == 1
+    assert [f.to_dict() for f in warm_dups] == [f.to_dict() for f in cold_dups]
+
+
+def test_program_rules_see_cached_summaries(tmp_path):
+    # Whole-program taint must keep working when every per-file payload
+    # comes from the cache (summaries round-trip through JSON).
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "specs.py").write_text(
+        "from repro.helpers import stamp\n"
+        "def digest(x):\n"
+        "    return stamp(x)\n"
+    )
+    (pkg / "helpers.py").write_text(
+        "import time\n"
+        "def stamp(x):\n"
+        "    return time.time()\n"
+    )
+    cache = AnalysisCache(tmp_path / "cache")
+    cold = analyze_paths([pkg], cache=cache)
+    warm = analyze_paths([pkg], cache=cache)
+    assert warm.files_from_cache == 2
+    assert [f.rule_id for f in cold.findings] == ["RPR010"]
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+
+
+def test_parallel_jobs_match_serial_results(tmp_path):
+    for index in range(20):
+        (tmp_path / f"m{index:02d}.py").write_text(
+            DIRTY if index % 3 == 0 else CLEAN
+        )
+    serial = analyze_paths([tmp_path], use_cache=False, jobs=1)
+    parallel = analyze_paths([tmp_path], use_cache=False, jobs=4)
+    assert [f.to_dict() for f in parallel.findings] == [
+        f.to_dict() for f in serial.findings
+    ]
+
+
+def test_digest_is_content_only():
+    assert source_digest("x = 1\n") == source_digest("x = 1\n")
+    assert source_digest("x = 1\n") != source_digest("x = 2\n")
+
+
+def test_cache_entries_are_valid_json(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text(CLEAN)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths([target], cache=cache)
+    entries = list((tmp_path / "cache").rglob("*.json"))
+    assert entries
+    for entry in entries:
+        payload = json.loads(entry.read_text())
+        assert "summary" in payload and "findings" in payload

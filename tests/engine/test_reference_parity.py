@@ -1,0 +1,157 @@
+"""The scalar reference twins agree bit-for-bit with the fast kernels.
+
+:mod:`repro.engine.reference` is the executable specification the
+RPR012 parity check pins against: every vectorized kernel has a scalar
+twin with an identical signature. Structural parity (names and
+signatures) is asserted here with :mod:`inspect`, and a representative
+numeric slice is asserted with ``==`` — the reference twins are the
+ground truth the vectorized engine claims exactness against.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.dram.address import AddressMapper
+from repro.dram.timing import DDR4_2666
+from repro.engine import controller as fast_controller
+from repro.engine import curves as fast_curves
+from repro.engine import dram as fast_dram
+from repro.engine import mess as fast_mess
+from repro.engine import probe as fast_probe
+from repro.engine import reference
+from repro.platforms.presets import INTEL_SKYLAKE, family
+from repro.scenario import build_memory
+
+FAST_MODULES = (
+    fast_controller,
+    fast_curves,
+    fast_dram,
+    fast_mess,
+    fast_probe,
+)
+
+SWEEP = np.linspace(0.0, 130.0, 97)
+
+
+def fast_surface():
+    surface = {}
+    for module in FAST_MODULES:
+        for name in module.__all__:
+            surface[name] = getattr(module, name)
+    return surface
+
+
+class TestStructuralParity:
+    def test_every_kernel_has_a_reference_twin(self):
+        assert sorted(fast_surface()) == sorted(reference.__all__)
+
+    def test_signatures_match_exactly(self):
+        for name, fast in fast_surface().items():
+            twin = getattr(reference, name)
+            assert inspect.signature(fast) == inspect.signature(twin), name
+
+    def test_twins_are_distinct_implementations(self):
+        # probe_point_vectorized is the one sanctioned shared scalar
+        # path (both sides delegate to bench.model_probe.probe_point).
+        for name, fast in fast_surface().items():
+            if name == "probe_point_vectorized":
+                continue
+            assert getattr(reference, name) is not fast, name
+
+
+class TestNumericParity:
+    def test_curve_latency(self, simple_curve):
+        assert reference.curve_latency_batch(
+            simple_curve, SWEEP
+        ).tolist() == fast_curves.curve_latency_batch(
+            simple_curve, SWEEP
+        ).tolist()
+
+    def test_family_latency_and_grid(self, small_family):
+        ratios = np.array([0.5, 0.62, 1.0])
+        for ratio in ratios:
+            assert reference.family_latency_batch(
+                small_family, SWEEP, float(ratio)
+            ).tolist() == fast_curves.family_latency_batch(
+                small_family, SWEEP, float(ratio)
+            ).tolist()
+        assert reference.family_latency_grid(
+            small_family, SWEEP, ratios
+        ).tolist() == fast_curves.family_latency_grid(
+            small_family, SWEEP, ratios
+        ).tolist()
+
+    def test_inclinations(self, simple_curve, small_family):
+        assert reference.curve_inclination_batch(
+            simple_curve, SWEEP
+        ).tolist() == fast_curves.curve_inclination_batch(
+            simple_curve, SWEEP
+        ).tolist()
+        assert reference.family_inclination_batch(
+            small_family, SWEEP, 0.75
+        ).tolist() == fast_curves.family_inclination_batch(
+            small_family, SWEEP, 0.75
+        ).tolist()
+
+    def test_controller_trajectory(self):
+        observations = np.array(
+            [10.0, 40.0, float("nan"), 80.0, float("inf"), 20.0, 20.0]
+        )
+        kwargs = dict(
+            estimate=5.0,
+            convergence_factor=0.4,
+            integral_gain=0.05,
+            integral_limit=50.0,
+        )
+        slow = reference.controller_trajectory(observations, **kwargs)
+        fast = fast_controller.controller_trajectory(observations, **kwargs)
+        assert np.asarray(slow).tolist() == np.asarray(fast).tolist()
+
+    def test_window_bandwidths(self):
+        issue = np.cumsum(np.full(64, 3.7)) + 100.0
+        slow = reference.window_bandwidths(issue, 64, 16)
+        fast = fast_controller.window_bandwidths(issue, 64, 16)
+        assert np.asarray(slow).tolist() == np.asarray(fast).tolist()
+
+    def test_probe_primitives(self):
+        assert reference.issue_schedule(
+            50, 3.3, start_ns=7.0
+        ).tolist() == fast_probe.issue_schedule(50, 3.3, start_ns=7.0).tolist()
+        assert reference.bresenham_reads(
+            41, 0.62
+        ).tolist() == fast_probe.bresenham_reads(41, 0.62).tolist()
+        assert reference.stream_addresses(
+            33, 4, 4096
+        ).tolist() == fast_probe.stream_addresses(33, 4, 4096).tolist()
+        values = np.linspace(0.1, 9.9, 257)
+        assert reference.sequential_sum(values) == fast_probe.sequential_sum(
+            values
+        )
+
+    def test_cap_never_stalls(self):
+        t = np.arange(0.0, 100.0, 2.5)
+        completions = t + 17.0
+        for cap in (1, 4, 64):
+            assert reference.cap_never_stalls(
+                t, completions, cap
+            ) == fast_probe.cap_never_stalls(t, completions, cap)
+
+    def test_decode_addresses(self):
+        mapper = AddressMapper(DDR4_2666, channels=4)
+        addresses = np.arange(0, 1 << 24, 4093 * 64, dtype=np.int64)
+        slow = reference.decode_addresses(mapper, addresses)
+        fast = fast_dram.decode_addresses(mapper, addresses)
+        assert sorted(slow) == sorted(fast)
+        for field in slow:
+            assert slow[field].tolist() == fast[field].tolist()
+
+    def test_drive_fixed_rate(self):
+        def make():
+            return build_memory("mess", {"curves": family(INTEL_SKYLAKE)})
+
+        slow = reference.drive_fixed_rate(make(), 3.0, 400)
+        fast = fast_mess.drive_fixed_rate(make(), 3.0, 400)
+        assert slow == fast
