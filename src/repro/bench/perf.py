@@ -88,14 +88,23 @@ def register(name: str, *tags: str) -> Callable:
 
 
 def bench_names(filter: str | None = None) -> list[str]:
-    """Registered bench names, optionally substring-filtered."""
+    """Registered bench names, optionally filtered.
+
+    ``filter`` is a comma-separated list of terms; a bench is kept when
+    any term is a substring of its name or exactly one of its tags
+    (``"curves,hierarchy"`` unions two families).
+    """
     _register_experiment_benches()
     names = sorted(_REGISTRY)
     if filter:
+        terms = [term for term in filter.split(",") if term]
         names = [
             name
             for name in names
-            if filter in name or filter in _REGISTRY[name].tags
+            if any(
+                term in name or term in _REGISTRY[name].tags
+                for term in terms
+            )
         ]
     return names
 
@@ -169,12 +178,24 @@ def write_payload(payload: dict, path: str | Path) -> None:
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
-def min_speedup(payload: dict, tag: str | None = None) -> float | None:
-    """Smallest speedup in a payload (optionally among one tag)."""
+def min_speedup(
+    payload: dict,
+    tag: str | None = None,
+    exclude_tags: Iterable[str] = (),
+) -> float | None:
+    """Smallest speedup in a payload (optionally among one tag).
+
+    ``exclude_tags`` drops benches carrying any of those tags — used by
+    the CLI to hold tag-scoped floors out of the global one (a scalar
+    hierarchy kernel should not be held to the vectorized-curves bar).
+    """
+    excluded = tuple(exclude_tags)
     speedups = [
         bench["speedup"]
         for bench in payload.get("benches", ())
-        if "speedup" in bench and (tag is None or tag in bench.get("tags", ()))
+        if "speedup" in bench
+        and (tag is None or tag in bench.get("tags", ()))
+        and not any(t in bench.get("tags", ()) for t in excluded)
     ]
     return min(speedups) if speedups else None
 
@@ -308,6 +329,84 @@ def _bench_mess_drive():
                 }
             ),
             "ops": 20_000,
+        }
+
+    return work, summarize
+
+
+@register("hierarchy.visit", "hierarchy", "cpu")
+def _bench_hierarchy_visit():
+    """Cache-hierarchy visits across the replacement-policy registry.
+
+    A deterministic mixed load/store trace (streaming writes + a
+    seeded scatter) driven through one :class:`MemoryHierarchy` per
+    registered replacement policy. The walk is the scalar hot path of
+    every characterize run; this bench pins its throughput trajectory
+    and cross-checks that hit/miss/writeback counters are identical
+    under both engines (the hierarchy itself has no vectorized fast
+    path yet, so the speedup hovers around 1x — CI holds it to a
+    tag-scoped floor rather than the vectorized-curves one).
+    """
+    from ..cpu.cache import CacheConfig, HierarchyConfig
+    from ..cpu.cachemodel import CacheModelSpec
+    from ..cpu.hierarchy import MemoryHierarchy
+    from ..cpu.policies import mix64, policy_kinds
+    from ..memmodels.fixed import FixedLatencyModel
+
+    geometry = HierarchyConfig(
+        l1=CacheConfig(16 * 1024, 4, 1.5),
+        l2=CacheConfig(128 * 1024, 8, 5.0),
+        l3=CacheConfig(512 * 1024, 16, 18.0),
+    )
+    accesses = 24_000
+    line = 64
+    span_lines = 3 * (512 * 1024) // line  # 3x the LLC: eviction pressure
+
+    def work(engine: str) -> dict:
+        counters: dict[str, dict] = {}
+        for policy in policy_kinds():
+            hierarchy = MemoryHierarchy(
+                cores=2,
+                config=geometry,
+                memory=FixedLatencyModel(60.0),
+                prefetch_lines=0,
+                cache_model=CacheModelSpec(policy=policy),
+                policy_seed=1234,
+            )
+            now = 0.0
+            for index in range(accesses):
+                if index % 3:
+                    # streaming store walk with a thrash-friendly stride
+                    address = (index * 7 % span_lines) * line
+                    is_store = True
+                else:
+                    # seeded scatter: the pointer-chase-shaped half
+                    address = (mix64(99, index) % span_lines) * line
+                    is_store = False
+                hierarchy.access(
+                    core=index & 1,
+                    address=address,
+                    is_store=is_store,
+                    now_ns=now,
+                )
+                now += 0.8
+            stats = hierarchy.llc.stats
+            memory_stats = hierarchy.memory.stats
+            counters[policy] = {
+                "llc_hits": stats.hits,
+                "llc_misses": stats.misses,
+                "llc_writebacks": stats.writebacks,
+                "llc_clean_evictions": stats.clean_evictions,
+                "l1_hits": hierarchy.l1[0].stats.hits,
+                "memory_reads": memory_stats.reads,
+                "memory_writes": memory_stats.writes,
+            }
+        return counters
+
+    def summarize(counters: dict) -> dict:
+        return {
+            "digest": spec_digest(counters),
+            "ops": accesses * len(counters),
         }
 
     return work, summarize

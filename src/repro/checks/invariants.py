@@ -359,9 +359,82 @@ def check_scenario(payload: Mapping, source: str = "<scenario>") -> list[Finding
                 ),
             )
         ]
-    return [
+    findings = [
         _finding(source, "RPR104", problem) for problem in scenario.validate()
     ]
+    if scenario.system is not None:
+        findings.extend(check_cache_geometry(scenario.system, source))
+    return findings
+
+
+def check_cache_geometry(system: object, source: str) -> list[Finding]:
+    """RPR102 plausibility rules for a system's cache geometry.
+
+    Hard impossibilities (indivisible sets, plru over non-power-of-two
+    ways) are already ``validate()`` errors; these findings flag
+    configurations that run but describe no plausible machine. The
+    power-of-two rules apply only to non-default cache models: the
+    historical default geometry (11-way 33 MiB LLC) predates them and
+    stays digest-frozen.
+    """
+    from ..cpu.cachemodel import CacheModelSpec
+
+    cache = getattr(system, "cache", None)
+    hierarchy = getattr(system, "hierarchy", None)
+    if cache is None or hierarchy is None:
+        return []
+    findings: list[Finding] = []
+    plan = cache.level_plan(hierarchy)
+    non_default = cache != CacheModelSpec()
+    previous = None
+    for index, (level, _shared) in enumerate(plan):
+        label = f"L{index + 1}"
+        if level.size_bytes % cache.line_bytes == 0:
+            sets = level.size_bytes // cache.line_bytes // level.ways or 1
+            if non_default and sets & (sets - 1):
+                findings.append(
+                    _finding(
+                        source,
+                        "RPR102",
+                        f"cache geometry: {label} has {sets} sets, not a "
+                        "power of two",
+                        hint="real indexing hardware uses power-of-two sets",
+                    )
+                )
+        if non_default and level.ways & (level.ways - 1):
+            findings.append(
+                _finding(
+                    source,
+                    "RPR102",
+                    f"cache geometry: {label} has {level.ways} ways, not a "
+                    "power of two",
+                )
+            )
+        if previous is not None:
+            prev_label, prev = previous
+            if level.size_bytes < prev.size_bytes:
+                findings.append(
+                    _finding(
+                        source,
+                        "RPR102",
+                        f"cache geometry: {label} ({level.size_bytes} B) is "
+                        f"smaller than {prev_label} ({prev.size_bytes} B)",
+                        hint="levels should grow toward memory",
+                    )
+                )
+            if level.latency_ns < prev.latency_ns:
+                findings.append(
+                    _finding(
+                        source,
+                        "RPR102",
+                        f"cache geometry: {label} latency "
+                        f"({level.latency_ns} ns) is below {prev_label} "
+                        f"({prev.latency_ns} ns)",
+                        hint="lookup latency should grow toward memory",
+                    )
+                )
+        previous = (label, level)
+    return findings
 
 
 def check_scenario_file(path: str | Path) -> list[Finding]:

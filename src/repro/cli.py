@@ -632,6 +632,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _is_fault_plan(ref: str) -> bool:
+    """Whether ``ref`` is a JSON file carrying the fault-plan marker."""
+    path = Path(ref)
+    if path.suffix != ".json" or not path.exists():
+        return False
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(payload, dict) and "repro_fault_plan" in payload
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.action == "list":
         for name in scenario_ids():
@@ -648,10 +660,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         raise SystemExit(2)
+    overrides = _parse_options(getattr(args, "opt", None) or [])
     failures = 0
     for ref in refs:
+        if args.action == "validate" and _is_fault_plan(ref):
+            # fault plans share the examples/ directory but are a
+            # different document kind, validated by `repro check`
+            # (RPR105); globbing `examples/*.json` should skip them
+            print(f"{ref}: skipped (fault plan; validated by `repro check`)")
+            continue
         try:
             scenario = _resolve_scenario(ref, args.scale)
+            if overrides:
+                scenario = scenario.with_overrides(overrides)
         except MessError as exc:
             if args.action != "validate":
                 raise
@@ -705,24 +726,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         perf.write_payload(payload, args.json)
         print(f"bench payload written to {args.json}")
+    tag_floors: dict[str, float] = {}
+    for spec in args.tag_floor or []:
+        tag, sep, value = spec.partition("=")
+        if not sep or not tag:
+            print(
+                f"error: --tag-floor expects TAG=FLOOR, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            tag_floors[tag] = float(value)
+        except ValueError:
+            print(
+                f"error: --tag-floor {tag}: {value!r} is not a number",
+                file=sys.stderr,
+            )
+            return 2
+    failed = False
     floor = args.min_speedup
     if floor is not None:
-        worst = perf.min_speedup(payload)
-        if worst is None:
+        # the global floor covers benches no tag-scoped floor claims
+        worst = perf.min_speedup(payload, exclude_tags=tag_floors)
+        if worst is None and not tag_floors:
             print(
                 "error: --min-speedup needs both engines timed",
                 file=sys.stderr,
             )
             return 2
-        if worst < floor:
+        if worst is not None:
+            if worst < floor:
+                print(
+                    f"error: minimum speedup {worst:.2f}x is below the "
+                    f"{floor:.2f}x floor",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"minimum speedup {worst:.2f}x (floor {floor:.2f}x)")
+    for tag in sorted(tag_floors):
+        tag_floor = tag_floors[tag]
+        worst = perf.min_speedup(payload, tag=tag)
+        if worst is None:
             print(
-                f"error: minimum speedup {worst:.2f}x is below the "
-                f"{floor:.2f}x floor",
+                f"error: --tag-floor {tag}: no timed benches carry that tag",
                 file=sys.stderr,
             )
-            return 1
-        print(f"minimum speedup {worst:.2f}x (floor {floor:.2f}x)")
-    return 0
+            return 2
+        if worst < tag_floor:
+            print(
+                f"error: minimum {tag} speedup {worst:.2f}x is below the "
+                f"{tag_floor:.2f}x floor",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"minimum {tag} speedup {worst:.2f}x (floor {tag_floor:.2f}x)"
+            )
+    return 1 if failed else 0
 
 
 def _cmd_curves(args: argparse.Namespace) -> int:
@@ -1180,6 +1242,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="scale factor applied when building preset scenarios",
     )
+    scenario_parser.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "dotted-path scenario override applied before the action "
+            "(e.g. cache.policy=plru, system.cores=8); repeatable"
+        ),
+    )
     scenario_parser.set_defaults(func=_cmd_scenario)
 
     bench_parser = commands.add_parser(
@@ -1189,8 +1261,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--filter",
         default=None,
-        metavar="SUBSTR",
-        help="run benches whose name or tag matches (e.g. 'curves')",
+        metavar="SUBSTR[,SUBSTR...]",
+        help=(
+            "run benches whose name or tag matches any comma-separated "
+            "term (e.g. 'curves' or 'curves,hierarchy')"
+        ),
     )
     bench_parser.add_argument(
         "--engine",
@@ -1216,7 +1291,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="X",
-        help="exit 1 if any bench's vectorized speedup is below X",
+        help=(
+            "exit 1 if any bench's vectorized speedup is below X "
+            "(benches covered by a --tag-floor are exempt)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--tag-floor",
+        action="append",
+        default=[],
+        metavar="TAG=X",
+        help=(
+            "per-tag speedup floor (e.g. hierarchy=0.5) for benches "
+            "whose kernels are scalar under both engines; repeatable"
+        ),
     )
     bench_parser.add_argument(
         "--list", action="store_true", help="list matching benches and exit"

@@ -3,15 +3,33 @@
 from __future__ import annotations
 
 from .cache import AccessOutcome, Cache, CacheConfig, CacheStats, HierarchyConfig
+from .cachemodel import (
+    CACHE_PRESETS,
+    TOPOLOGIES,
+    CacheModelSpec,
+    cache_preset_names,
+    canonical_cache_spec,
+    validate_cache_model,
+)
 from .core import Core, CoreStats, Delay, MemOp, Operation
 from .engine import Engine
 from .hierarchy import HierarchyAccess, MemoryHierarchy
+from .policies import (
+    LruPolicy,
+    ReplacementPolicy,
+    SeededRandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+    policy_kinds,
+)
 from .system import System, SystemConfig, SystemResult
 
 __all__ = [
     "AccessOutcome",
+    "CACHE_PRESETS",
     "Cache",
     "CacheConfig",
+    "CacheModelSpec",
     "CacheStats",
     "Core",
     "CoreStats",
@@ -19,10 +37,20 @@ __all__ = [
     "Engine",
     "HierarchyAccess",
     "HierarchyConfig",
+    "LruPolicy",
     "MemOp",
     "MemoryHierarchy",
     "Operation",
+    "ReplacementPolicy",
+    "SeededRandomPolicy",
     "System",
     "SystemConfig",
     "SystemResult",
+    "TOPOLOGIES",
+    "TreePlruPolicy",
+    "cache_preset_names",
+    "canonical_cache_spec",
+    "make_policy",
+    "policy_kinds",
+    "validate_cache_model",
 ]

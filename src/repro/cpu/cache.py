@@ -1,20 +1,28 @@
-"""Set-associative cache with write-back, write-allocate semantics.
+"""Set-associative cache with pluggable replacement and write policies.
 
 The write-allocate policy is load-bearing for the whole paper: it is why
 a 100%-store kernel produces 50%-read/50%-write *memory* traffic
 (Section II-A), and why Mess measures higher bandwidth than STREAM
-(Section III). The model is functional (real tags, real LRU) so traffic
-ratios emerge from behaviour instead of being asserted.
+(Section III). The model is functional (real tags, real replacement
+state) so traffic ratios emerge from behaviour instead of being
+asserted.
+
+Replacement is delegated to :mod:`repro.cpu.policies` (``lru``,
+``plru``, ``random``); per-set state is kept in way-indexed lists plus
+a tag->way membership dict that is never iterated, so victim choice
+cannot depend on dict ordering. The default configuration (``lru``,
+64-byte lines, write-back) is bit-exact with the historical
+``OrderedDict`` implementation.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
 from ..specs import SpecConvertible
 from ..units import CACHE_LINE_BYTES
+from .policies import ReplacementPolicy, make_policy, mix64
 
 
 @dataclass
@@ -25,6 +33,7 @@ class CacheStats:
     misses: int = 0
     writebacks: int = 0
     clean_evictions: int = 0
+    invalidations: int = 0
 
     @property
     def accesses(self) -> int:
@@ -51,29 +60,68 @@ class AccessOutcome:
     clean_eviction_address: int | None = None
 
 
+class _CacheSet:
+    """Way-indexed state for one set: tags, dirty bits, policy."""
+
+    __slots__ = ("tags", "dirty", "way_of", "free", "policy")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.tags: list[int | None] = [None] * ways
+        self.dirty: list[bool] = [False] * ways
+        # membership only — never iterated, so victim choice cannot
+        # depend on dict ordering
+        self.way_of: dict[int, int] = {}
+        # descending so pop() yields the lowest-numbered free way
+        self.free: list[int] = list(range(ways - 1, -1, -1))
+        self.policy = policy
+
+
 class Cache:
-    """One level of set-associative, write-back, write-allocate cache.
+    """One level of set-associative, write-allocate cache.
 
     Parameters
     ----------
     name:
         Level label ("L1", "L2", "L3") used in stats and errors.
     size_bytes / ways:
-        Geometry; the number of sets must come out a power-free integer
-        but need not be a power of two.
+        Geometry; the number of sets must come out an integer but need
+        not be a power of two.
     latency_ns:
         Lookup latency contributed by this level to a hit, and to the
         traversal on the way down on a miss.
+    policy:
+        Replacement policy name from :mod:`repro.cpu.policies`.
+    line_bytes:
+        Cache-line size (power of two).
+    write_through:
+        When true, stores never dirty lines here (the hierarchy posts
+        the memory write instead), so evictions are always clean.
+    policy_seed:
+        Base seed for seeded policies; each set derives its own stream.
     """
 
-    def __init__(self, name: str, size_bytes: int, ways: int, latency_ns: float) -> None:
-        if size_bytes < CACHE_LINE_BYTES:
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        latency_ns: float,
+        policy: str = "lru",
+        line_bytes: int = CACHE_LINE_BYTES,
+        write_through: bool = False,
+        policy_seed: int = 0,
+    ) -> None:
+        if line_bytes < 1 or line_bytes & (line_bytes - 1):
+            raise ConfigurationError(
+                f"{name}: line_bytes must be a power of two, got {line_bytes}"
+            )
+        if size_bytes < line_bytes:
             raise ConfigurationError(f"{name}: cache smaller than one line")
         if ways < 1:
             raise ConfigurationError(f"{name}: ways must be >= 1, got {ways}")
         if latency_ns < 0:
             raise ConfigurationError(f"{name}: latency must be non-negative")
-        lines = size_bytes // CACHE_LINE_BYTES
+        lines = size_bytes // line_bytes
         if lines % ways:
             raise ConfigurationError(
                 f"{name}: {lines} lines not divisible into {ways} ways"
@@ -82,10 +130,15 @@ class Cache:
         self.size_bytes = size_bytes
         self.ways = ways
         self.latency_ns = latency_ns
+        self.policy = policy
+        self.line_bytes = line_bytes
+        self.write_through = write_through
+        self.policy_seed = policy_seed
         self.num_sets = lines // ways
         self.stats = CacheStats()
-        # set index -> OrderedDict[tag -> dirty]; order is LRU (oldest first)
-        self._sets: dict[int, OrderedDict[int, bool]] = {}
+        # validate the policy name eagerly, before the first miss
+        make_policy(policy, ways, 0)
+        self._sets: dict[int, _CacheSet] = {}
 
     def reset(self) -> None:
         """Invalidate all lines and clear statistics."""
@@ -93,39 +146,76 @@ class Cache:
         self.stats = CacheStats()
 
     def _locate(self, address: int) -> tuple[int, int]:
-        line = address // CACHE_LINE_BYTES
+        line = address // self.line_bytes
         return line % self.num_sets, line // self.num_sets
+
+    def _set_for(self, set_index: int) -> _CacheSet:
+        state = self._sets.get(set_index)
+        if state is None:
+            state = _CacheSet(
+                self.ways,
+                make_policy(
+                    self.policy, self.ways, mix64(self.policy_seed, set_index)
+                ),
+            )
+            self._sets[set_index] = state
+        return state
+
+    def _allocate(self, state: _CacheSet, set_index: int, tag: int, dirty: bool) -> tuple[int | None, bool]:
+        """Place ``tag`` in a free or victimized way.
+
+        Returns ``(victim_address, victim_dirty)``; the victim address
+        is ``None`` when a free way absorbed the fill.
+        """
+        victim_address: int | None = None
+        victim_dirty = False
+        if state.free:
+            way = state.free.pop()
+        else:
+            way = state.policy.victim()
+            victim_tag = state.tags[way]
+            assert victim_tag is not None
+            victim_dirty = state.dirty[way]
+            victim_address = (
+                victim_tag * self.num_sets + set_index
+            ) * self.line_bytes
+            del state.way_of[victim_tag]
+        state.tags[way] = tag
+        state.dirty[way] = dirty
+        state.way_of[tag] = way
+        state.policy.touch(way)
+        return victim_address, victim_dirty
 
     def access(self, address: int, is_store: bool) -> AccessOutcome:
         """Look up ``address``; allocate on miss (write-allocate).
 
-        Stores mark the line dirty. On an allocation that overflows the
-        set, the LRU line is evicted: dirty lines surface as a
-        writeback, clean ones as a clean eviction.
+        Stores mark the line dirty (write-back mode). On an allocation
+        that overflows the set, the policy's victim is evicted: dirty
+        lines surface as a writeback, clean ones as a clean eviction.
         """
         set_index, tag = self._locate(address)
-        lines = self._sets.setdefault(set_index, OrderedDict())
-        if tag in lines:
+        state = self._set_for(set_index)
+        way = state.way_of.get(tag)
+        dirties = is_store and not self.write_through
+        if way is not None:
             self.stats.hits += 1
-            lines.move_to_end(tag)
-            if is_store:
-                lines[tag] = True
+            state.policy.touch(way)
+            if dirties:
+                state.dirty[way] = True
             return AccessOutcome(hit=True)
         self.stats.misses += 1
+        victim_address, victim_dirty = self._allocate(
+            state, set_index, tag, dirty=dirties
+        )
         writeback = None
         clean_eviction = None
-        if len(lines) >= self.ways:
-            victim_tag, victim_dirty = lines.popitem(last=False)
-            victim_address = (
-                victim_tag * self.num_sets + set_index
-            ) * CACHE_LINE_BYTES
+        if victim_address is not None:
             if victim_dirty:
                 self.stats.writebacks += 1
                 writeback = victim_address
             else:
                 self.stats.clean_evictions += 1
                 clean_eviction = victim_address
-        lines[tag] = is_store
         return AccessOutcome(
             hit=False,
             writeback_address=writeback,
@@ -133,9 +223,10 @@ class Cache:
         )
 
     def contains(self, address: int) -> bool:
-        """Whether the line holding ``address`` is resident (no LRU touch)."""
+        """Whether the line holding ``address`` is resident (no policy touch)."""
         set_index, tag = self._locate(address)
-        return tag in self._sets.get(set_index, ())
+        state = self._sets.get(set_index)
+        return state is not None and tag in state.way_of
 
     def install(self, address: int, dirty: bool) -> None:
         """Silently install a line (warmup priming; no stats, no traffic).
@@ -146,14 +237,36 @@ class Cache:
         generating writebacks.
         """
         set_index, tag = self._locate(address)
-        lines = self._sets.setdefault(set_index, OrderedDict())
-        if tag in lines:
-            lines.move_to_end(tag)
-            lines[tag] = lines[tag] or dirty
+        state = self._set_for(set_index)
+        sticky = dirty and not self.write_through
+        way = state.way_of.get(tag)
+        if way is not None:
+            state.policy.touch(way)
+            state.dirty[way] = state.dirty[way] or sticky
             return
-        if len(lines) >= self.ways:
-            lines.popitem(last=False)
-        lines[tag] = dirty
+        self._allocate(state, set_index, tag, dirty=sticky)
+
+    def invalidate(self, address: int) -> tuple[bool, bool]:
+        """Drop the line holding ``address`` (inclusive back-invalidation).
+
+        Returns ``(was_present, was_dirty)``; the caller decides what
+        to do with a dirty copy (normally: write it to memory).
+        """
+        set_index, tag = self._locate(address)
+        state = self._sets.get(set_index)
+        if state is None:
+            return False, False
+        way = state.way_of.get(tag)
+        if way is None:
+            return False, False
+        was_dirty = state.dirty[way]
+        del state.way_of[tag]
+        state.tags[way] = None
+        state.dirty[way] = False
+        state.free.append(way)
+        state.policy.forget(way)
+        self.stats.invalidations += 1
+        return True, was_dirty
 
     def fill_with_scratch(self, scratch_base: int, dirty_fraction: float) -> int:
         """Fill the whole cache with scratch lines, a fraction dirty.
@@ -177,7 +290,7 @@ class Cache:
             dirty = target > dirty_acc
             if dirty:
                 dirty_acc += 1
-            self.install(scratch_base + index * CACHE_LINE_BYTES, dirty=dirty)
+            self.install(scratch_base + index * self.line_bytes, dirty=dirty)
         return total_lines
 
 

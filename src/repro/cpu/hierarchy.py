@@ -1,15 +1,22 @@
 """Cache hierarchy wiring cores to the memory model.
 
-Private L1/L2 per core, shared L3, write-back write-allocate at every
-level. An LLC miss issues a cache-line READ to the memory model; dirty
-LLC evictions issue WRITEs. This is where a store instruction becomes
-one memory read plus (eventually) one memory write — the effect behind
-the paper's 100%-store = 50/50 traffic observation.
+The hierarchy shape is selected by a :class:`CacheModelSpec` (the
+``cache=`` scenario axis): the default private-L1/L2 + shared-L3
+write-back stack, a Simu3-style private-L1 + shared-L2, or a flat
+single level. Every topology ends in one shared LLC in front of the
+memory model: an LLC miss issues a cache-line READ, dirty LLC
+evictions issue WRITEs. This is where a store instruction becomes one
+memory read plus (eventually) one memory write — the effect behind the
+paper's 100%-store = 50/50 traffic observation. Under a write-through
+model stores post their memory WRITE immediately instead of dirtying
+lines.
 
 The ``writeback_clean_lines`` flag reproduces the OpenPiton coherency
 bug the Mess benchmark uncovered (Section IV-C): the generated protocol
 evicted *all* LLC lines as if dirty, inflating write traffic. With the
-flag on, clean evictions also emit memory WRITEs.
+flag on, clean evictions also emit memory WRITEs — under every
+replacement policy, which is exactly what the fault-injection tests
+pin down.
 """
 
 from __future__ import annotations
@@ -19,8 +26,9 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..memmodels.base import AccessType, MemoryModel, MemoryRequest
-from ..units import CACHE_LINE_BYTES
 from .cache import AccessOutcome, Cache, HierarchyConfig
+from .cachemodel import CacheModelSpec
+from .policies import mix64
 
 
 @dataclass(frozen=True)
@@ -28,22 +36,29 @@ class HierarchyAccess:
     """Timing outcome of one core memory instruction."""
 
     latency_ns: float
-    level: str  # "L1" | "L2" | "L3" | "MEM"
+    level: str  # "L1" | "L2" | "L3" | "MEM" | "NT"
 
 
 class MemoryHierarchy:
-    """Three-level hierarchy in front of a pluggable memory model.
+    """Configurable-topology hierarchy in front of a pluggable memory model.
 
     Parameters
     ----------
     cores:
-        Number of cores (each gets private L1 and L2).
+        Number of cores (each gets a private copy of the non-shared
+        levels).
     config:
         Cache geometries and the NoC overhead.
     memory:
         Any :class:`~repro.memmodels.base.MemoryModel`.
     writeback_clean_lines:
         Fault injection for the OpenPiton coherency bug.
+    cache_model:
+        Topology/replacement/write-policy selection; ``None`` means the
+        historical default model.
+    policy_seed:
+        Base seed for seeded replacement policies; each level and core
+        derives its own stream.
     """
 
     def __init__(
@@ -53,6 +68,8 @@ class MemoryHierarchy:
         memory: MemoryModel,
         writeback_clean_lines: bool = False,
         prefetch_lines: int = 4,
+        cache_model: CacheModelSpec | None = None,
+        policy_seed: int = 0,
     ) -> None:
         if cores < 1:
             raise ConfigurationError(f"cores must be >= 1, got {cores}")
@@ -64,9 +81,51 @@ class MemoryHierarchy:
         self.memory = memory
         self.writeback_clean_lines = writeback_clean_lines
         self.prefetch_lines = prefetch_lines
-        self.l1 = [config.l1.build(f"L1.{i}") for i in range(cores)]
-        self.l2 = [config.l2.build(f"L2.{i}") for i in range(cores)]
-        self.l3 = config.l3.build("L3")
+        self.cores = cores
+        self.cache_model = (
+            cache_model if cache_model is not None else CacheModelSpec()
+        )
+        model = self.cache_model
+        plan = model.level_plan(config)
+        self.levels: list[list[Cache]] = []
+        self._shared: list[bool] = []
+        self._labels: list[str] = []
+        for index, (geometry, shared) in enumerate(plan):
+            label = f"L{index + 1}"
+            names = [label] if shared else [
+                f"{label}.{core}" for core in range(cores)
+            ]
+            self.levels.append(
+                [
+                    Cache(
+                        name,
+                        geometry.size_bytes,
+                        geometry.ways,
+                        geometry.latency_ns,
+                        policy=model.policy,
+                        line_bytes=model.line_bytes,
+                        write_through=model.write_through,
+                        policy_seed=mix64(policy_seed, index, instance),
+                    )
+                    for instance, name in enumerate(names)
+                ]
+            )
+            self._shared.append(shared)
+            self._labels.append(label)
+        #: The shared last level fronting the memory model.
+        self.llc: Cache = self.levels[-1][0]
+        self._line_bytes = model.line_bytes
+        self._shared_penalty_ns = model.shared_latency_penalty_ns
+        # Historical aliases; for the default topology these match the
+        # old fixed attributes exactly.
+        self.l1: list[Cache] = self.levels[0]
+        self.l2: list[Cache] | Cache | None = None
+        self.l3: Cache | None = None
+        if model.topology == "private-l1l2-shared-l3":
+            self.l2 = self.levels[1]
+            self.l3 = self.llc
+        elif model.topology == "private-l1-shared-l2":
+            self.l2 = self.llc
         self._last_now = 0.0
         # per-core recent demand-miss lines: a real stream prefetcher
         # tracks several concurrent streams (a core interleaving loads
@@ -83,8 +142,9 @@ class MemoryHierarchy:
 
     def reset(self) -> None:
         """Invalidate all caches; the memory model is reset separately."""
-        for cache in (*self.l1, *self.l2, self.l3):
-            cache.reset()
+        for level in self.levels:
+            for cache in level:
+                cache.reset()
 
     #: Address region used for priming scratch lines; far above any
     #: workload array so tags never collide.
@@ -99,9 +159,10 @@ class MemoryHierarchy:
         runs; priming achieves the same steady state instantly.
         ``dirty_fraction`` must match the store share of the workload's
         line allocations, or early evictions would over- or under-
-        produce writes.
+        produce writes. Under a write-through model no line is ever
+        dirty, so the fill installs clean lines regardless.
         """
-        self.l3.fill_with_scratch(self.SCRATCH_BASE, dirty_fraction)
+        self.llc.fill_with_scratch(self.SCRATCH_BASE, dirty_fraction)
 
     # ------------------------------------------------------------------
     # Access path
@@ -122,8 +183,9 @@ class MemoryHierarchy:
         """Serve one load or store from ``core`` at time ``now_ns``.
 
         Returns the load-to-use latency and the level that supplied the
-        line. Misses traverse L1 -> L2 -> L3 -> memory, accumulating each
-        level's lookup latency; LLC evictions are forwarded to memory as
+        line. Misses traverse the configured levels outermost-in,
+        accumulating each level's lookup latency (plus the shared-level
+        contention term); LLC evictions are forwarded to memory as
         posted writes at the miss timestamp. Non-temporal stores skip
         the hierarchy entirely: one posted memory WRITE, no allocation,
         no read-for-ownership.
@@ -146,26 +208,46 @@ class MemoryHierarchy:
                 latency_ns=max(self.NON_TEMPORAL_ACCEPT_NS, write_latency),
                 level="NT",
             )
-        cfg = self.config
-        latency = cfg.l1.latency_ns
-        outcome = self.l1[core].access(address, is_store)
-        if outcome.hit:
-            return HierarchyAccess(latency_ns=latency, level="L1")
-        # L1 victims propagate to L2 (inclusive-ish simplification: the
-        # dirty line is installed in L2 rather than written to memory).
-        self._spill(self.l2[core], outcome)
+        result = self._walk(core, address, is_store, now_ns)
+        if is_store and self.cache_model.write_through:
+            # write-through: the store's data goes to memory as a
+            # posted write no matter which level holds the line
+            self.memory.access(
+                MemoryRequest(
+                    address=address,
+                    access_type=AccessType.WRITE,
+                    issue_time_ns=now_ns,
+                )
+            )
+        return result
 
-        latency += cfg.l2.latency_ns
-        outcome = self.l2[core].access(address, is_store)
-        if outcome.hit:
-            return HierarchyAccess(latency_ns=latency, level="L2")
-        self._spill(self.l3, outcome)
-
-        latency += cfg.l3.latency_ns
-        outcome = self.l3.access(address, is_store)
-        if outcome.hit:
-            return HierarchyAccess(latency_ns=latency, level="L3")
-        self._emit_evictions(outcome, now_ns)
+    def _walk(
+        self, core: int, address: int, is_store: bool, now_ns: float
+    ) -> HierarchyAccess:
+        """Traverse the configured levels; fall through to memory."""
+        depth = len(self.levels)
+        latency = 0.0
+        for index in range(depth):
+            cache = self._cache_at(index, core)
+            latency += cache.latency_ns
+            if self._shared[index] and self._shared_penalty_ns > 0.0:
+                latency += self._shared_penalty_ns * (self.cores - 1)
+            outcome = cache.access(address, is_store)
+            if outcome.hit:
+                return HierarchyAccess(
+                    latency_ns=latency, level=self._labels[index]
+                )
+            if index + 1 < depth:
+                # victims propagate to the next level down
+                # (inclusive-ish simplification: the dirty line is
+                # installed there rather than written to memory)
+                self._spill(
+                    self._cache_at(index + 1, core),
+                    outcome,
+                    lower_is_llc=index + 1 == depth - 1,
+                )
+            else:
+                self._emit_evictions(outcome, now_ns)
 
         # LLC miss: fetch the line from memory (a store becomes a
         # read-for-ownership here; the write happens at eviction time).
@@ -176,8 +258,12 @@ class MemoryHierarchy:
         )
         self._miss_latency_ewma += 0.05 * (memory_latency - self._miss_latency_ewma)
         self._maybe_prefetch(core, address, now_ns)
-        latency += cfg.noc_latency_ns + memory_latency
+        latency += self.config.noc_latency_ns + memory_latency
         return HierarchyAccess(latency_ns=latency, level="MEM")
+
+    def _cache_at(self, index: int, core: int) -> Cache:
+        caches = self.levels[index]
+        return caches[0] if self._shared[index] else caches[core]
 
     #: Demand-miss latency (ns) above which the stream prefetcher backs
     #: off — real prefetchers throttle when the memory system is
@@ -197,7 +283,7 @@ class MemoryHierarchy:
         installed into the LLC. Random patterns — the pointer chase —
         never trigger it.
         """
-        line = address // CACHE_LINE_BYTES
+        line = address // self._line_bytes
         history = self._miss_history[core]
         streak = (line - 1) in history
         history[line] = None
@@ -210,8 +296,8 @@ class MemoryHierarchy:
             self.prefetches_throttled += 1
             return
         for ahead in range(1, self.prefetch_lines + 1):
-            prefetch_address = address + ahead * CACHE_LINE_BYTES
-            if self.l3.contains(prefetch_address):
+            prefetch_address = address + ahead * self._line_bytes
+            if self.llc.contains(prefetch_address):
                 continue
             self.memory.access(
                 MemoryRequest(
@@ -222,15 +308,17 @@ class MemoryHierarchy:
             )
             # allocate through the normal path so displaced dirty lines
             # still produce their writebacks
-            spilled = self.l3.access(prefetch_address, is_store=False)
+            spilled = self.llc.access(prefetch_address, is_store=False)
             self._emit_evictions(spilled, now_ns)
             self.prefetches_issued += 1
 
-    def _spill(self, lower: Cache, outcome: AccessOutcome) -> None:
+    def _spill(
+        self, lower: Cache, outcome: AccessOutcome, lower_is_llc: bool
+    ) -> None:
         """Install an upper-level dirty victim into the next level down."""
         if outcome.writeback_address is not None:
             spilled = lower.access(outcome.writeback_address, is_store=True)
-            if lower is self.l3:
+            if lower_is_llc:
                 self._emit_evictions(spilled, now_ns=None)
 
     def _emit_evictions(self, outcome: AccessOutcome, now_ns: float | None) -> None:
@@ -255,3 +343,28 @@ class MemoryHierarchy:
                     issue_time_ns=when,
                 )
             )
+        if self.cache_model.inclusive:
+            for evicted in (
+                outcome.writeback_address,
+                outcome.clean_eviction_address,
+            ):
+                if evicted is not None:
+                    self._back_invalidate(evicted, when)
+
+    def _back_invalidate(self, address: int, when: float) -> None:
+        """Inclusive LLC: evicted lines may not survive in upper levels.
+
+        Dirty upper-level copies hold newer data than the evicted LLC
+        line, so they are flushed to memory as posted writes.
+        """
+        for index in range(len(self.levels) - 1):
+            for cache in self.levels[index]:
+                present, was_dirty = cache.invalidate(address)
+                if present and was_dirty:
+                    self.memory.access(
+                        MemoryRequest(
+                            address=address,
+                            access_type=AccessType.WRITE,
+                            issue_time_ns=when,
+                        )
+                    )

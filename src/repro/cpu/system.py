@@ -9,12 +9,14 @@ methodology (Sections IV and V).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from ..errors import ConfigurationError, SimulationError
 from ..memmodels.base import MemoryModel
-from ..specs import SpecConvertible
+from ..specs import SpecConvertible, spec_digest
+from ..specs import to_spec as _generic_to_spec
 from .cache import HierarchyConfig
+from .cachemodel import CacheModelSpec, canonical_cache_spec, derive_policy_seed
 from .core import Core, CoreStats, Operation
 from .engine import Engine
 from .hierarchy import MemoryHierarchy
@@ -39,6 +41,8 @@ class SystemConfig(SpecConvertible):
     #: systems are modeled without a prefetcher). Eight lines keeps a
     #: whole 512-byte channel-interleave unit in one burst.
     prefetch_lines: int = 8
+    #: Cache-model selection (topology, replacement, write policy).
+    cache: CacheModelSpec = field(default_factory=CacheModelSpec)
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -48,6 +52,31 @@ class SystemConfig(SpecConvertible):
     def effective_mshrs(self) -> int:
         """In-order cores serialize on one outstanding miss window."""
         return 2 if self.in_order else self.mshrs
+
+    def to_spec(self) -> dict:
+        """Spec payload; the default cache model is omitted entirely.
+
+        Omission keeps every pre-existing scenario digest byte-stable
+        (the same rule ``Scenario.to_spec`` applies to the default
+        engine): a spec that never mentions ``cache`` hashes as it
+        always did, and a non-default model changes the digest.
+        """
+        payload = _generic_to_spec(self)
+        if self.cache == CacheModelSpec():
+            payload.pop("cache", None)
+        return payload
+
+    @classmethod
+    def from_spec(cls, payload: Mapping, where: str = "") -> "SystemConfig":
+        """Parse a spec; ``cache`` accepts preset-name shorthand."""
+        raw = payload.get("cache") if isinstance(payload, Mapping) else None
+        if raw is not None:
+            label = f"{where}.cache" if where else "cache"
+            payload = {**payload, "cache": canonical_cache_spec(raw, where=label)}
+        return super().from_spec(payload, where)
+
+    def digest(self) -> str:
+        return spec_digest(self.to_spec())
 
 
 @dataclass
@@ -80,12 +109,21 @@ class System:
         self.config = config
         self.memory = memory
         self.engine = Engine()
+        # Seeded replacement policies draw from the config digest when
+        # no explicit seed is set: identical machines evict identically,
+        # any parameter change decorrelates, and nothing non-
+        # deterministic (wall clock, hash seed) ever enters the stream.
+        policy_seed = config.cache.seed
+        if policy_seed is None:
+            policy_seed = derive_policy_seed(config.to_spec())
         self.hierarchy = MemoryHierarchy(
             cores=config.cores,
             config=config.hierarchy,
             memory=memory,
             writeback_clean_lines=config.writeback_clean_lines,
             prefetch_lines=0 if config.in_order else config.prefetch_lines,
+            cache_model=config.cache,
+            policy_seed=policy_seed,
         )
         self._cores: list[Core] = []
 

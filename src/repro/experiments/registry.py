@@ -47,6 +47,9 @@ _PAPER_ORDER = (
     "openpiton",
     "optane",
     "ablation",
+    "wsweep",
+    "thrash",
+    "policydelta",
 )
 
 
@@ -207,6 +210,9 @@ def _load_experiment_modules() -> None:
         "openpiton",
         "optane",
         "ablation",
+        "wsweep",
+        "thrash",
+        "policydelta",
     ):
         importlib.import_module(f".{name}", __package__)
 

@@ -37,6 +37,7 @@ from .presets import (
     bench_system,
     characterization,
     preset_scenario,
+    resolve_cache_model,
     scenario_ids,
     substrate,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "bench_system",
     "characterization",
     "preset_scenario",
+    "resolve_cache_model",
     "scenario_ids",
     "substrate",
 ]

@@ -34,6 +34,7 @@ from typing import Callable, Mapping
 from .. import engine as engine_mod
 from ..bench.harness import MessBenchmark, MessBenchmarkConfig
 from ..core.family import CurveFamily
+from ..cpu.cachemodel import canonical_cache_spec, validate_cache_model
 from ..cpu.system import System, SystemConfig
 from ..errors import ConfigurationError, MessError
 from ..memmodels.base import MemoryModel
@@ -160,6 +161,7 @@ class Scenario:
             "sweep",
             "theoretical_bandwidth_gbps",
             "engine",
+            "cache",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -173,6 +175,32 @@ class Scenario:
         if not isinstance(workload, Mapping):
             raise ConfigurationError(f"{where}.workload: expected an object")
         system = payload.get("system")
+        cache_sugar = payload.get("cache")
+        if cache_sugar is not None:
+            # top-level shorthand: fold onto system.cache (preset name,
+            # preset + overrides, or field overrides over the current
+            # model). The canonical spelling always lives inside the
+            # system section, so the digest is spelling-insensitive.
+            if system is not None and not isinstance(system, Mapping):
+                raise ConfigurationError(f"{where}.system: expected an object")
+            folded = dict(system) if isinstance(system, Mapping) else {}
+            existing = folded.get("cache")
+            label = f"{where}.cache"
+            if (
+                existing is not None
+                and isinstance(cache_sugar, Mapping)
+                and "preset" not in cache_sugar
+            ):
+                merged = canonical_cache_spec(
+                    existing, where=f"{where}.system.cache"
+                )
+                merged.update(
+                    {str(key): value for key, value in cache_sugar.items()}
+                )
+                folded["cache"] = canonical_cache_spec(merged, where=label)
+            else:
+                folded["cache"] = canonical_cache_spec(cache_sugar, where=label)
+            system = folded
         memory = payload.get("memory")
         sweep = payload.get("sweep")
         theoretical = payload.get("theoretical_bandwidth_gbps")
@@ -254,7 +282,18 @@ class Scenario:
         """
         if not assignments:
             return self
-        return Scenario.from_spec(apply_overrides(self.to_spec(), assignments))
+        payload = self.to_spec()
+        # ``cache.*`` overrides target shorthand sections the canonical
+        # spec omits when default — seed empty objects so dotted paths
+        # have something to land in.
+        keys = [str(key) for key in assignments]
+        if any(key == "cache" or key.startswith("cache.") for key in keys):
+            payload.setdefault("cache", {})
+        if any(key.startswith("system.cache") for key in keys):
+            system_section = payload.get("system")
+            if isinstance(system_section, dict):
+                system_section.setdefault("cache", {})
+        return Scenario.from_spec(apply_overrides(payload, assignments))
 
     # ------------------------------------------------------------------
     # Validation
@@ -278,6 +317,12 @@ class Scenario:
             )
             return problems
         if kind == "characterize":
+            if self.system is not None:
+                problems.extend(
+                    validate_cache_model(
+                        self.system.cache, self.system.hierarchy
+                    )
+                )
             if self.memory is None:
                 problems.append("memory: required for characterize workloads")
             else:

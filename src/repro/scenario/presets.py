@@ -17,10 +17,12 @@ one-off cycle-accurate substrates for experiments that sweep parameters
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Mapping
 
 from ..bench.harness import MessBenchmarkConfig
 from ..cpu.cache import CacheConfig, HierarchyConfig
+from ..cpu.cachemodel import CacheModelSpec, canonical_cache_spec
 from ..cpu.system import SystemConfig
 from ..errors import ConfigurationError
 from ..units import scaled
@@ -37,14 +39,28 @@ BENCH_HIERARCHY = HierarchyConfig(
 )
 
 
+def resolve_cache_model(cache: object) -> CacheModelSpec:
+    """Accept any cache-model spelling: spec, preset name, or mapping."""
+    if isinstance(cache, CacheModelSpec):
+        return cache
+    return CacheModelSpec.from_spec(canonical_cache_spec(cache), where="cache")
+
+
 def bench_system(
     cores: int = 24,
     mshrs: int = 12,
     in_order: bool = False,
     issue_gap_ns: float = 0.3,
     writeback_clean_lines: bool = False,
+    cache: object | None = None,
 ) -> SystemConfig:
-    """Standard benchmark machine: ``cores`` OoO cores, shared LLC."""
+    """Standard benchmark machine: ``cores`` OoO cores, shared LLC.
+
+    ``cache`` selects a non-default cache model (a
+    :class:`~repro.cpu.cachemodel.CacheModelSpec`, a preset name, or a
+    mapping of field overrides); ``None`` keeps the digest-neutral
+    default.
+    """
     return SystemConfig(
         cores=cores,
         hierarchy=BENCH_HIERARCHY,
@@ -52,6 +68,9 @@ def bench_system(
         mshrs=mshrs,
         in_order=in_order,
         writeback_clean_lines=writeback_clean_lines,
+        cache=(
+            resolve_cache_model(cache) if cache is not None else CacheModelSpec()
+        ),
     )
 
 
@@ -83,12 +102,21 @@ def characterization(
     description: str = "",
     system: SystemConfig | None = None,
     sweep: MessBenchmarkConfig | None = None,
+    cache: object | None = None,
 ) -> Scenario:
-    """A characterize scenario on the standard benchmark machine."""
+    """A characterize scenario on the standard benchmark machine.
+
+    ``cache`` selects a non-default cache model; it composes with an
+    explicit ``system`` by replacing that system's cache field.
+    """
+    if system is None:
+        system = bench_system(cores=cores, cache=cache)
+    elif cache is not None:
+        system = dataclasses.replace(system, cache=resolve_cache_model(cache))
     return Scenario(
         name=name,
         workload={"kind": "characterize"},
-        system=system if system is not None else bench_system(cores=cores),
+        system=system,
         memory={"kind": memory_kind, "params": dict(memory_params or {})},
         sweep=sweep if sweep is not None else bench_sweep(scale),
         theoretical_bandwidth_gbps=theoretical_bandwidth_gbps,

@@ -194,6 +194,67 @@ class TestScenarioRPR104:
         assert any("bogus" in f.message for f in findings)
 
 
+class TestCacheGeometryRPR102:
+    """Plausibility rules for the cache axis: fire on implausible
+    geometry, stay silent on the digest-frozen defaults."""
+
+    def scenario_payload(self, default_geometry: bool = False) -> dict:
+        from repro.scenario import preset_scenario
+
+        payload = preset_scenario("skylake-substrate").to_spec()
+        if default_geometry:
+            # the historical default LLC: 33 MiB, 11 ways -> 49152
+            # sets, neither a power of two
+            payload["system"]["hierarchy"]["l3"] = {
+                "size_bytes": 33 * 1024 * 1024,
+                "ways": 11,
+                "latency_ns": 18.0,
+            }
+        return payload
+
+    def test_default_geometry_is_silent(self):
+        # without an explicit cache model the pow2 rules must not
+        # flag the digest-frozen default geometry
+        payload = self.scenario_payload(default_geometry=True)
+        assert check_scenario(payload) == []
+
+    def test_non_default_cache_with_non_pow2_ways_fires(self):
+        payload = self.scenario_payload(default_geometry=True)
+        payload["system"]["cache"] = {"policy": "random"}
+        findings = check_scenario(payload)
+        assert findings
+        assert all(f.rule_id == "RPR102" for f in findings)
+        assert any("ways" in f.message for f in findings)
+
+    def test_capacity_inversion_fires(self):
+        payload = self.scenario_payload()
+        payload["system"]["hierarchy"]["l2"]["size_bytes"] = 16 * 1024
+        findings = check_scenario(payload)
+        assert any(
+            f.rule_id == "RPR102" and "smaller" in f.message.lower()
+            or f.rule_id == "RPR102" and "capacity" in f.message.lower()
+            for f in findings
+        )
+
+    def test_latency_inversion_fires(self):
+        payload = self.scenario_payload()
+        payload["system"]["hierarchy"]["l3"]["latency_ns"] = 0.5
+        findings = check_scenario(payload)
+        assert any(
+            f.rule_id == "RPR102" and "latency" in f.message.lower()
+            for f in findings
+        )
+
+    def test_pow2_geometry_with_non_default_cache_is_silent(self):
+        from repro.scenario import characterization
+
+        scenario = characterization(
+            name="pow2", memory_kind="fixed-latency", cache={"policy": "plru"}
+        )
+        findings = check_scenario(scenario.to_spec())
+        assert findings == []
+
+
 class TestJsonDispatch:
     def test_scenario_marker_routes_to_rpr104(self, tmp_path):
         from repro.scenario import preset_scenario

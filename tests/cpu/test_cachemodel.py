@@ -1,0 +1,309 @@
+"""Unit tests for the pluggable cache-model subsystem.
+
+Covers the declarative :class:`CacheModelSpec` (round-trips, presets,
+canonicalization, plausibility validation) and the behavioral seams it
+opens in :class:`MemoryHierarchy`: alternative topologies, write
+policies, inclusivity, shared-level contention, and the OpenPiton
+``writeback_clean_lines`` fault observed *through* each replacement
+policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.cache import CacheConfig, HierarchyConfig
+from repro.cpu.cachemodel import (
+    CACHE_PRESETS,
+    CacheModelSpec,
+    cache_preset_names,
+    canonical_cache_spec,
+    derive_policy_seed,
+    validate_cache_model,
+)
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.policies import policy_kinds
+from repro.errors import ConfigurationError
+from repro.memmodels.fixed import FixedLatencyModel
+
+
+@pytest.fixture
+def config():
+    return HierarchyConfig(
+        l1=CacheConfig(1024, 2, 1.0),
+        l2=CacheConfig(4096, 2, 4.0),
+        l3=CacheConfig(16384, 4, 10.0),
+        noc_latency_ns=45.0,
+    )
+
+
+def make_hierarchy(config, cache_model=None, prefetch=0, **kwargs):
+    memory = FixedLatencyModel(latency_ns=50.0)
+    hierarchy = MemoryHierarchy(
+        cores=2,
+        config=config,
+        memory=memory,
+        prefetch_lines=prefetch,
+        cache_model=cache_model,
+        **kwargs,
+    )
+    return hierarchy, memory
+
+
+class TestSpec:
+    def test_default_round_trip(self):
+        spec = CacheModelSpec()
+        assert CacheModelSpec.from_spec(spec.to_spec()) == spec
+
+    def test_non_default_round_trip(self):
+        spec = CacheModelSpec(
+            topology="private-l1-shared-l2",
+            policy="plru",
+            line_bytes=128,
+            write_policy="write-through",
+            inclusive=True,
+            shared_latency_penalty_ns=0.75,
+            seed=42,
+        )
+        assert CacheModelSpec.from_spec(spec.to_spec()) == spec
+
+    def test_invalid_enums_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheModelSpec(topology="mesh")
+        with pytest.raises(ConfigurationError):
+            CacheModelSpec(policy="fifo")
+        with pytest.raises(ConfigurationError):
+            CacheModelSpec(write_policy="write-around")
+        with pytest.raises(ConfigurationError):
+            CacheModelSpec(line_bytes=48)
+        with pytest.raises(ConfigurationError):
+            CacheModelSpec(shared_latency_penalty_ns=-1.0)
+
+    def test_presets_all_construct(self):
+        for name in cache_preset_names():
+            payload = canonical_cache_spec(name)
+            spec = CacheModelSpec.from_spec(payload)
+            assert isinstance(spec, CacheModelSpec)
+
+    def test_default_preset_is_default_spec(self):
+        assert CACHE_PRESETS["default"] == {}
+        payload = canonical_cache_spec("default")
+        assert CacheModelSpec.from_spec(payload) == CacheModelSpec()
+
+    def test_canonical_partial_mapping_fills_defaults(self):
+        payload = canonical_cache_spec({"policy": "plru"})
+        assert payload["policy"] == "plru"
+        assert payload["topology"] == "private-l1l2-shared-l3"
+
+    def test_canonical_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_cache_spec("no-such-preset")
+
+    def test_canonical_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_cache_spec({"polcy": "plru"})
+
+    def test_seed_derivation_is_stable(self):
+        payload = {"anything": 1}
+        assert derive_policy_seed(payload) == derive_policy_seed(dict(payload))
+        assert derive_policy_seed(payload) != derive_policy_seed({"other": 2})
+
+
+class TestLevelPlan:
+    def test_default_three_levels_shared_llc(self, config):
+        plan = CacheModelSpec().level_plan(config)
+        assert [shared for _, shared in plan] == [False, False, True]
+
+    def test_simu3_two_levels(self, config):
+        spec = CacheModelSpec(topology="private-l1-shared-l2")
+        plan = spec.level_plan(config)
+        assert [shared for _, shared in plan] == [False, True]
+        assert plan[0][0] is config.l1
+        assert plan[1][0] is config.l2
+
+    def test_flat_single_shared_level(self, config):
+        plan = CacheModelSpec(topology="flat").level_plan(config)
+        assert [shared for _, shared in plan] == [True]
+        assert plan[0][0] is config.l3
+
+
+class TestValidate:
+    def test_default_geometry_is_clean(self, config):
+        assert validate_cache_model(CacheModelSpec(), config) == []
+
+    def test_indivisible_line_size_flagged(self, config):
+        spec = CacheModelSpec(line_bytes=4096)
+        bad = HierarchyConfig(
+            l1=CacheConfig(1024, 2, 1.0),
+            l2=CacheConfig(4096, 2, 4.0),
+            l3=CacheConfig(16384, 4, 10.0),
+        )
+        problems = validate_cache_model(spec, bad)
+        assert problems and any("L1" in p for p in problems)
+
+    def test_plru_non_power_of_two_ways_flagged(self):
+        spec = CacheModelSpec(policy="plru")
+        bad = HierarchyConfig(
+            l1=CacheConfig(64 * 3, 3, 1.0),
+            l2=CacheConfig(4096, 2, 4.0),
+            l3=CacheConfig(16384, 4, 10.0),
+        )
+        problems = validate_cache_model(spec, bad)
+        assert any("plru" in p for p in problems)
+
+
+class TestTopologies:
+    def test_simu3_shares_l2_between_cores(self, config):
+        spec = CacheModelSpec(topology="private-l1-shared-l2")
+        hierarchy, _ = make_hierarchy(config, cache_model=spec)
+        hierarchy.access(0, 0, False, 0.0)
+        # the other core misses its private L1 but hits the shared L2
+        access = hierarchy.access(1, 0, False, 1.0)
+        assert access.level == "L2"
+
+    def test_flat_hits_in_single_level(self, config):
+        spec = CacheModelSpec(topology="flat")
+        hierarchy, memory = make_hierarchy(config, cache_model=spec)
+        miss = hierarchy.access(0, 0, False, 0.0)
+        assert miss.level == "MEM"
+        assert miss.latency_ns == 10.0 + 45.0 + 50.0
+        hit = hierarchy.access(1, 0, False, 1.0)
+        assert hit.level == "L1"
+        assert hit.latency_ns == 10.0
+
+    def test_default_walk_latency_unchanged(self, config):
+        hierarchy, _ = make_hierarchy(config, cache_model=CacheModelSpec())
+        access = hierarchy.access(0, 0, False, 0.0)
+        assert access.latency_ns == 1.0 + 4.0 + 10.0 + 45.0 + 50.0
+
+
+class TestWritePolicies:
+    def test_write_through_posts_store_writes(self, config):
+        spec = CacheModelSpec(write_policy="write-through")
+        hierarchy, memory = make_hierarchy(config, cache_model=spec)
+        for i in range(8):
+            hierarchy.access(0, i * 64, is_store=True, now_ns=float(i))
+        assert memory.stats.writes == 8
+
+    def test_write_through_never_dirties(self, config):
+        spec = CacheModelSpec(write_policy="write-through")
+        hierarchy, memory = make_hierarchy(config, cache_model=spec)
+        # streaming stores over far more lines than the hierarchy holds
+        for i in range(600):
+            hierarchy.access(0, i * 64, is_store=True, now_ns=float(i))
+        # every write is a posted store; none are dirty writebacks
+        assert memory.stats.writes == 600
+        assert hierarchy.llc.stats.writebacks == 0
+
+    def test_write_back_defers_writes(self, config):
+        hierarchy, memory = make_hierarchy(config, cache_model=CacheModelSpec())
+        for i in range(8):
+            hierarchy.access(0, i * 64, is_store=True, now_ns=float(i))
+        assert memory.stats.writes == 0
+
+
+class TestInclusive:
+    @staticmethod
+    def _fill_llc_set_keeping_line0_hot(hierarchy):
+        """Evict line 0 from the LLC while core 0's L1 still holds it.
+
+        L1 hits never touch the LLC's recency state, so interleaving
+        conflict fills with re-reads of line 0 keeps it MRU in the L1
+        (2 ways: line 0 + the latest conflict line) while it ages to
+        LRU in the 4-way LLC set and gets evicted.
+        """
+        hierarchy.access(0, 0, False, 0.0)
+        sets = hierarchy.llc.num_sets
+        now = 1.0
+        for k in range(1, 4):  # fill the remaining 3 LLC ways
+            hierarchy.access(0, k * sets * 64, False, now)
+            hierarchy.access(0, 0, False, now + 0.5)
+            now += 1.0
+        # 5th conflicting line: the LLC evicts its LRU way — line 0
+        hierarchy.access(0, 4 * sets * 64, False, now)
+
+    def test_llc_eviction_back_invalidates_l1(self, config):
+        spec = CacheModelSpec(inclusive=True)
+        hierarchy, _ = make_hierarchy(config, cache_model=spec)
+        self._fill_llc_set_keeping_line0_hot(hierarchy)
+        assert hierarchy.l1[0].stats.invalidations > 0
+        # line 0 is gone from the whole hierarchy
+        assert hierarchy.access(0, 0, False, 100.0).level == "MEM"
+
+    def test_non_inclusive_keeps_upper_copies(self, config):
+        hierarchy, _ = make_hierarchy(config, cache_model=CacheModelSpec())
+        self._fill_llc_set_keeping_line0_hot(hierarchy)
+        assert hierarchy.l1[0].stats.invalidations == 0
+        # non-inclusive: the L1 copy survives the LLC eviction
+        assert hierarchy.access(0, 0, False, 100.0).level == "L1"
+
+
+class TestSharedPenalty:
+    def test_contention_term_added_at_shared_level(self, config):
+        spec = CacheModelSpec(shared_latency_penalty_ns=2.0)
+        hierarchy, _ = make_hierarchy(config, cache_model=spec)
+        access = hierarchy.access(0, 0, False, 0.0)
+        # cores=2 -> one extra contender at the shared LLC
+        assert access.latency_ns == 1.0 + 4.0 + (10.0 + 2.0) + 45.0 + 50.0
+
+    def test_zero_penalty_is_bit_exact_default(self, config):
+        base, _ = make_hierarchy(config, cache_model=None)
+        spec_h, _ = make_hierarchy(config, cache_model=CacheModelSpec())
+        a = base.access(0, 0, False, 0.0)
+        b = spec_h.access(0, 0, False, 0.0)
+        assert a.latency_ns == b.latency_ns
+
+
+class TestCleanLineFaultThroughPolicies:
+    """Satellite: the OpenPiton coherency fault must be observable
+    through the policy seam — clean evictions turn into memory WRITEs
+    under every registered replacement policy, not just LRU.
+    """
+
+    @pytest.mark.parametrize("policy", policy_kinds())
+    def test_clean_evictions_written_back(self, config, policy):
+        spec = CacheModelSpec(policy=policy) if policy != "lru" else None
+        correct, correct_memory = make_hierarchy(
+            config, cache_model=spec, policy_seed=7
+        )
+        faulty, faulty_memory = make_hierarchy(
+            config, cache_model=spec, policy_seed=7, writeback_clean_lines=True
+        )
+        for hierarchy in (correct, faulty):
+            for i in range(600):
+                hierarchy.access(0, i * 64, is_store=False, now_ns=float(i))
+        assert correct_memory.stats.writes == 0
+        assert faulty_memory.stats.writes > 0
+
+
+class TestSeededRandomHierarchy:
+    def test_same_seed_reproduces_traffic(self, config):
+        spec = CacheModelSpec(policy="random")
+        runs = []
+        for _ in range(2):
+            hierarchy, memory = make_hierarchy(
+                config, cache_model=spec, policy_seed=1234
+            )
+            for i in range(400):
+                hierarchy.access(0, (i * 7 % 512) * 64, i % 3 == 0, float(i))
+            runs.append(
+                (
+                    memory.stats.reads,
+                    memory.stats.writes,
+                    hierarchy.llc.stats.hits,
+                    hierarchy.llc.stats.misses,
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seed_decorrelates(self, config):
+        spec = CacheModelSpec(policy="random")
+        counters = []
+        for seed in (1, 2):
+            hierarchy, memory = make_hierarchy(
+                config, cache_model=spec, policy_seed=seed
+            )
+            for i in range(400):
+                hierarchy.access(0, (i * 7 % 512) * 64, i % 3 == 0, float(i))
+            counters.append((memory.stats.reads, hierarchy.llc.stats.hits))
+        assert counters[0] != counters[1]

@@ -1,0 +1,176 @@
+"""Unit tests for the replacement-policy registry.
+
+The policies are the innermost loop of the cache model, so the tests
+pin *exact* victim sequences (not just statistics): any change to the
+update rules would silently shift every non-default scenario digest.
+The final class is the RPR010-style determinism fence — the policy and
+cache sources themselves must pass the RPR002 entropy scan.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import OrderedDict
+
+import pytest
+
+from repro.checks import check_source
+from repro.cpu import cache as cache_module
+from repro.cpu import policies as policies_module
+from repro.cpu.policies import (
+    LruPolicy,
+    SeededRandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+    mix64,
+    policy_kinds,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_kinds_sorted_and_complete(self):
+        assert policy_kinds() == ("lru", "plru", "random")
+
+    def test_make_policy_dispatch(self):
+        assert isinstance(make_policy("lru", 4), LruPolicy)
+        assert isinstance(make_policy("plru", 4), TreePlruPolicy)
+        assert isinstance(make_policy("random", 4, seed=7), SeededRandomPolicy)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo", 4)
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.touch(0)  # order now 1, 2, 3, 0
+        assert policy.victim() == 1
+
+    def test_matches_ordered_dict_semantics(self):
+        """Bit-exact replay of the pre-refactor OrderedDict cache set."""
+        policy = LruPolicy(8)
+        shadow: OrderedDict[int, None] = OrderedDict()
+        victims = []
+        shadow_victims = []
+        for step in range(400):
+            way = mix64(42, step) % 8
+            if way in shadow:
+                shadow.move_to_end(way)
+            else:
+                shadow[way] = None
+            policy.touch(way)
+            if step % 7 == 3:
+                victim = policy.victim()
+                victims.append(victim)
+                shadow_victim = next(iter(shadow))
+                shadow_victims.append(shadow_victim)
+                shadow.pop(shadow_victim)
+                shadow[victim] = None
+                policy.forget(victim)
+                policy.touch(victim)
+        assert victims == shadow_victims
+
+    def test_forget_removes_way(self):
+        policy = LruPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.forget(0)
+        assert policy.victim() == 1
+
+
+class TestTreePlru:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ConfigurationError):
+            TreePlruPolicy(6)
+
+    def test_golden_victim_sequence(self):
+        """Simu3 binary-tree PLRU: bits steer away from touched ways."""
+        policy = TreePlruPolicy(4)
+        trace = []
+        for way in (0, 1, 2, 3, 0):
+            policy.touch(way)
+            trace.append(policy.victim())
+        # Hand-traced against the heap-array bit updates; this exact
+        # sequence is the tree-PLRU fingerprint.
+        assert trace == [2, 2, 0, 0, 2]
+
+    def test_victim_never_just_touched(self):
+        policy = TreePlruPolicy(8)
+        for step in range(200):
+            way = mix64(7, step) % 8
+            policy.touch(way)
+            assert policy.victim() != way
+
+
+class TestSeededRandom:
+    def test_deterministic_for_same_seed(self):
+        first = SeededRandomPolicy(8, seed=123)
+        second = SeededRandomPolicy(8, seed=123)
+        seq_a = [first.victim() for _ in range(64)]
+        seq_b = [second.victim() for _ in range(64)]
+        assert seq_a == seq_b
+
+    def test_distinct_seeds_decorrelate(self):
+        a = SeededRandomPolicy(8, seed=1)
+        b = SeededRandomPolicy(8, seed=2)
+        assert [a.victim() for _ in range(64)] != [
+            b.victim() for _ in range(64)
+        ]
+
+    def test_victims_in_range(self):
+        policy = SeededRandomPolicy(4, seed=99)
+        victims = {policy.victim() for _ in range(256)}
+        assert victims == {0, 1, 2, 3}
+
+
+class TestMix64:
+    def test_stable_golden_values(self):
+        assert mix64(0) == mix64(0)
+        assert mix64(1, 2) != mix64(2, 1)
+
+    def test_masked_to_64_bits(self):
+        assert 0 <= mix64(2**80, 2**90) < 2**64
+
+
+class TestDeterminismFence:
+    """RPR010-style fence: replacement order must never depend on
+    set/dict iteration order or ambient entropy. The RPR002 scanner
+    covers entropy imports, wall-clock reads and set iteration; run it
+    over the real sources so a regression cannot land silently.
+    """
+
+    @pytest.mark.parametrize(
+        "module, filename",
+        [
+            (policies_module, "cpu/policies.py"),
+            (cache_module, "cpu/cache.py"),
+        ],
+    )
+    def test_sources_pass_entropy_scan(self, module, filename):
+        source = inspect.getsource(module)
+        findings = [
+            finding
+            for finding in check_source(source, filename=filename)
+            if finding.rule_id == "RPR002"
+        ]
+        assert findings == []
+
+    def test_no_builtin_hash_in_seed_chain(self):
+        """hash() is salted per-process; seeds must come from mix64 /
+        spec digests only."""
+        import ast
+
+        for module in (policies_module, cache_module):
+            tree = ast.parse(inspect.getsource(module))
+            calls = [
+                node
+                for node in ast.walk(tree)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ]
+            assert calls == []

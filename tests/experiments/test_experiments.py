@@ -20,6 +20,7 @@ class TestInfrastructure:
             "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
             "fig17", "fig18", "openpiton", "optane", "ablation",
+            "wsweep", "thrash", "policydelta",
         }
         assert set(experiment_ids()) == expected
         assert set(EXPERIMENTS) == expected

@@ -28,7 +28,8 @@ class TestRegistration:
     def test_paper_order_preserved(self):
         ids = experiment_ids()
         assert ids[:3] == ["table1", "fig2", "fig3"]
-        assert ids[-3:] == ["openpiton", "optane", "ablation"]
+        assert ids[-3:] == ["wsweep", "thrash", "policydelta"]
+        assert ids[-6:-3] == ["openpiton", "optane", "ablation"]
 
     def test_duplicate_id_rejected(self):
         with pytest.raises(ConfigurationError):

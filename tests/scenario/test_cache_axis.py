@@ -1,0 +1,170 @@
+"""Tests for the declarative ``cache=`` scenario axis.
+
+The axis has one hard compatibility contract — the default cache model
+must be digest-invisible (every pre-existing scenario digest is frozen
+in ``test_digests.py``) — and one extension contract: any non-default
+spelling must round-trip, produce a distinct stable digest, and mean
+the same thing whether written as a preset name, an explicit mapping,
+top-level sugar, or a dotted ``--opt cache.*=`` override.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import MessBenchmarkConfig
+from repro.cpu.cachemodel import CacheModelSpec, cache_preset_names
+from repro.cpu.system import SystemConfig
+from repro.errors import ConfigurationError
+from repro.scenario import characterization, preset_scenario
+from repro.scenario.core import Scenario
+from repro.scenario.options import parse_assignments
+
+
+def _tiny(name: str = "tiny", cache: object | None = None) -> Scenario:
+    return characterization(
+        name=name,
+        memory_kind="fixed-latency",
+        memory_params={"latency_ns": 60.0},
+        cores=2,
+        sweep=MessBenchmarkConfig(
+            store_fractions=(0.0,),
+            nop_counts=(0,),
+            warmup_ns=500.0,
+            measure_ns=1500.0,
+            chase_array_bytes=512 * 1024,
+            traffic_array_bytes=512 * 1024,
+        ),
+        cache=cache,
+    )
+
+
+class TestDigestCompatibility:
+    def test_default_cache_is_digest_invisible(self):
+        base = _tiny()
+        explicit = _tiny(cache="default")
+        assert base.digest() == explicit.digest()
+        assert "cache" not in base.to_spec()["system"]
+
+    def test_default_system_spec_omits_cache_section(self):
+        payload = SystemConfig().to_spec()
+        assert "cache" not in payload
+
+    def test_non_default_variants_are_distinct_and_stable(self):
+        digests = {}
+        variants = {
+            "plru": {"policy": "plru"},
+            "random": {"policy": "random"},
+            "simu3": "simu3",
+            "flat-llc": "flat-llc",
+            "write-through": "write-through",
+            "inclusive": {"inclusive": True},
+            "wide-lines": {"line_bytes": 128},
+        }
+        for key, cache in variants.items():
+            digest = _tiny(cache=cache).digest()
+            assert digest == _tiny(cache=cache).digest()  # stable
+            digests[key] = digest
+        assert len(set(digests.values())) == len(digests)
+        assert _tiny().digest() not in digests.values()
+
+    def test_round_trip_preserves_non_default_digest(self):
+        scenario = _tiny(cache="simu3")
+        payload = json.loads(json.dumps(scenario.to_spec()))
+        assert Scenario.from_spec(payload).digest() == scenario.digest()
+
+    def test_preset_equals_explicit_spelling(self):
+        from repro.cpu.cachemodel import CACHE_PRESETS
+
+        for name in cache_preset_names():
+            by_name = _tiny(cache=name).digest()
+            by_mapping = _tiny(cache=dict(CACHE_PRESETS[name])).digest()
+            assert by_name == by_mapping, name
+
+
+class TestOverrides:
+    def test_dotted_cache_override(self):
+        patched = _tiny().with_overrides(
+            parse_assignments(["cache.policy=plru"])
+        )
+        assert patched.system.cache.policy == "plru"
+        assert patched.digest() != _tiny().digest()
+
+    def test_cache_preset_override(self):
+        patched = _tiny().with_overrides(parse_assignments(["cache=simu3"]))
+        assert patched.system.cache.topology == "private-l1-shared-l2"
+        assert patched.digest() == _tiny(cache="simu3").digest()
+
+    def test_system_dotted_override(self):
+        patched = _tiny().with_overrides(
+            parse_assignments(["system.cache.line_bytes=128"])
+        )
+        assert patched.system.cache.line_bytes == 128
+
+    def test_typo_rejected_loudly(self):
+        with pytest.raises(ConfigurationError):
+            _tiny().with_overrides(parse_assignments(["cache.polcy=plru"]))
+
+    def test_bad_policy_rejected_loudly(self):
+        with pytest.raises(ConfigurationError):
+            _tiny().with_overrides(parse_assignments(["cache.policy=fifo"]))
+
+
+class TestTopLevelSugar:
+    def test_cache_sugar_folds_onto_system(self):
+        payload = _tiny().to_spec()
+        payload["cache"] = {"policy": "plru"}
+        scenario = Scenario.from_spec(payload)
+        assert scenario.system.cache.policy == "plru"
+        assert scenario.digest() == _tiny(cache={"policy": "plru"}).digest()
+
+    def test_cache_sugar_accepts_preset_string(self):
+        payload = _tiny().to_spec()
+        payload["cache"] = "write-through"
+        scenario = Scenario.from_spec(payload)
+        assert scenario.system.cache.write_policy == "write-through"
+
+    def test_unknown_preset_rejected(self):
+        payload = _tiny().to_spec()
+        payload["cache"] = "no-such-model"
+        with pytest.raises(ConfigurationError):
+            Scenario.from_spec(payload)
+
+
+class TestMaterialization:
+    def test_policy_reaches_hierarchy(self):
+        system = _tiny(cache={"policy": "plru"}).materialize().build_system()
+        assert system.hierarchy.llc.policy == "plru"
+
+    def test_seed_derived_from_spec_is_stable(self):
+        a = _tiny(cache={"policy": "random"}).materialize().build_system()
+        b = _tiny(cache={"policy": "random"}).materialize().build_system()
+        assert a.hierarchy.llc.policy_seed == b.hierarchy.llc.policy_seed
+
+    def test_distinct_systems_get_distinct_seeds(self):
+        a = _tiny(cache={"policy": "random"}).materialize().build_system()
+        b = (
+            _tiny(cache={"policy": "random"})
+            .with_overrides({"system.cores": 4})
+            .materialize()
+            .build_system()
+        )
+        assert a.hierarchy.llc.policy_seed != b.hierarchy.llc.policy_seed
+
+    def test_explicit_seed_wins(self):
+        spec = CacheModelSpec(policy="random", seed=77)
+        scenario = _tiny(cache=spec)
+        system = scenario.materialize().build_system()
+        assert system.hierarchy.llc.policy_seed != 0
+        rebuilt = Scenario.from_spec(scenario.to_spec()).materialize().build_system()
+        assert rebuilt.hierarchy.llc.policy_seed == (
+            system.hierarchy.llc.policy_seed
+        )
+
+
+class TestPresetScenariosStayValid:
+    def test_presets_validate_clean_under_cache_rules(self):
+        for name in ("skylake-substrate", "hbm-substrate"):
+            assert preset_scenario(name).validate() == []

@@ -38,6 +38,9 @@ GOLDEN_EXPERIMENT_DIGESTS = {
     "openpiton": "4642fb30ba7982796502809a2ce8e5134ff0cb9abd221fa979caf8b9be18704c",
     "optane": "6f479f046a12ca9011672cf82b22b17865a69fdeca3e871205ae9d3d3ef9c99e",
     "ablation": "8c1d8f1a967c132adac754b191464d79b3e99af8600dc9a384f88f16c61f067c",
+    "wsweep": "618623bd98f1b7d3582b8653d87159aa027d1320df2bad63f78fb80d451ab91f",
+    "thrash": "3444d516bf2181740307c13fd654ee6bce845c396ba8d9035187580bc8c69a40",
+    "policydelta": "953e42e90400b56be99c6dcb7a0a95acd27210972a9a3a1cad326c3ee860160c",
 }
 
 GOLDEN_PRESET_DIGESTS = {
