@@ -146,7 +146,9 @@ _FALLBACK_BLOCKLIST = frozenset(
         "shutdown",
         "sort",
         "split",
+        "start",
         "startswith",
+        "stop",
         "strip",
         "submit",
         "tolist",

@@ -209,7 +209,13 @@ _ENVIRONMENT_KEYS = ("python_version", "platform")
 
 # mirrored from repro.resilience.failures.FAILURE_KINDS; kept literal so
 # validating a manifest does not import the execution layer
-_FAILURE_KINDS = ("crash", "timeout", "model-error", "cache-error")
+_FAILURE_KINDS = (
+    "crash",
+    "timeout",
+    "model-error",
+    "cache-error",
+    "unavailable",
+)
 
 
 def check_manifest(payload: Mapping, source: str = "<manifest>") -> list[Finding]:

@@ -1,0 +1,103 @@
+"""RPR013 — unclassified exception swallowing on shard RPC paths.
+
+The cluster fabric's whole failure story rests on *typed* failures:
+the router decides breaker trips, failovers and retries by what
+:func:`repro.resilience.failures.classify_failure` says an exception
+is. A ``try``/``except:`` (or a broad ``except Exception:``) that
+swallows an error on a shard RPC path silently converts "shard is
+down" into "everything is fine" — the breaker never trips, the health
+monitor never flips, and the outage surfaces as user-visible latency
+instead of a failover.
+
+Scope: the fabric modules whose exception handling *is* the failure
+policy — ``serve/cluster.py``, ``serve/health.py``,
+``serve/breaker.py`` and ``serve/client.py``. Flagged there:
+
+- a bare ``except:`` — always;
+- ``except Exception:`` / ``except BaseException:`` whose handler
+  neither re-raises (``raise`` anywhere in the body) nor routes the
+  exception through ``classify_failure``.
+
+Narrow typed handlers (``except ConnectionError``, ``except
+(OSError, asyncio.TimeoutError)``) are the sanctioned idiom and pass
+untouched. Deliberate exceptions can be annotated
+``# repro: ignore[RPR013]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileContext, Rule, register_rule
+
+#: Modules whose exception handlers implement the fabric failure policy.
+_FABRIC_FILES = frozenset(
+    {"cluster.py", "health.py", "breaker.py", "client.py"}
+)
+
+#: Handler types considered "catches everything".
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_label(handler_type: "ast.expr | None") -> "str | None":
+    """The broad-catch label for a handler type, or None if typed."""
+    if handler_type is None:
+        return "bare except"
+    if isinstance(handler_type, ast.Name) and handler_type.id in _BROAD_NAMES:
+        return f"except {handler_type.id}"
+    if isinstance(handler_type, ast.Tuple):
+        for element in handler_type.elts:
+            label = _broad_label(element)
+            if label is not None and label != "bare except":
+                return label
+    return None
+
+
+def _handler_disposes(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or classifies the exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name == "classify_failure":
+                return True
+    return False
+
+
+@register_rule
+class UnclassifiedShardFailureRule(Rule):
+    rule_id = "RPR013"
+    title = "broad exception swallowing on a shard RPC path"
+    hint = (
+        "catch the typed peer-failure set (ConnectionError, OSError, "
+        "asyncio.IncompleteReadError, asyncio.TimeoutError, MessError) or "
+        "route the exception through repro.resilience.failures."
+        "classify_failure so breakers and health tracking see it; annotate "
+        "deliberate cases with `# repro: ignore[RPR013]`"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "serve" in ctx.parts and ctx.path.name in _FABRIC_FILES
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        label = _broad_label(node.type)
+        if label == "bare except":
+            self.report(
+                node,
+                "bare `except:` on a shard RPC path swallows peer "
+                "failures the breaker and health monitor must see",
+            )
+        elif label is not None and not _handler_disposes(node):
+            self.report(
+                node,
+                f"`{label}` on a shard RPC path neither re-raises nor "
+                "calls classify_failure — peer failures vanish instead "
+                "of tripping the breaker",
+            )
+        self.generic_visit(node)

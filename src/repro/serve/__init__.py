@@ -5,8 +5,10 @@ this package turns that into a read-mostly service: tiered cache
 backends (:mod:`.backends`), single-flight request coalescing
 (:mod:`.singleflight`), the transport-independent service core with
 backpressure/deadlines/retries (:mod:`.service`), a stdlib asyncio
-HTTP front end and client (:mod:`.http`, :mod:`.client`), and a
-deterministic load generator (:mod:`.loadgen`).
+HTTP front end and pooled client (:mod:`.http`, :mod:`.client`), a
+deterministic load generator (:mod:`.loadgen`), and the sharded
+fabric — health probing (:mod:`.health`), per-shard circuit breakers
+(:mod:`.breaker`) and the digest-range router (:mod:`.cluster`).
 
 Only the backends are imported eagerly — the runner's result cache
 delegates its storage here, and constructing a cache must not drag in
@@ -31,11 +33,22 @@ from .backends import (
 _LAZY = {
     "CharacterizationService": "service",
     "ServiceConfig": "service",
+    "warm_from_manifest": "service",
     "HttpServer": "http",
+    "serve_service": "http",
     "ServiceClient": "client",
+    "ConnectionPool": "client",
     "LoadgenConfig": "loadgen",
     "run_loadgen": "loadgen",
     "loadgen_scenarios": "loadgen",
+    "CircuitBreaker": "breaker",
+    "HealthMonitor": "health",
+    "ShardHealth": "health",
+    "ClusterConfig": "cluster",
+    "ClusterRouter": "cluster",
+    "LocalCluster": "cluster",
+    "owner_shard": "cluster",
+    "spawn_shards": "cluster",
 }
 
 __all__ = [

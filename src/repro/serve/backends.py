@@ -41,6 +41,7 @@ import os
 import sqlite3
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
@@ -341,6 +342,22 @@ class SqliteBackend(CacheBackend):
     preserving semantics as the directory backend's ``*.corrupt``
     files. A single connection guarded by a lock keeps the backend
     usable from the server's executor threads.
+
+    Retention is optional and layered on the write timestamp each row
+    carries:
+
+    - ``ttl_s`` expires entries lazily on read: a row older than the
+      TTL is deleted and reported as a miss. Rows migrated from a
+      pre-timestamp database carry ``created_at = 0`` and are exempt
+      (age unknown is not age infinite).
+    - ``max_entries`` is a high-water mark enforced on write: when an
+      insert pushes the table over the bound, the oldest rows (by
+      ``created_at``, then key) are evicted back down to it.
+
+    Both are counted in memory *and* persisted in a ``meta`` table, so
+    ``repro cache info`` reports lifetime ``expired`` / ``evictions``
+    totals across process restarts — retention that silently loses
+    entries without a ledger is indistinguishable from corruption.
     """
 
     kind = "sqlite"
@@ -350,18 +367,42 @@ class SqliteBackend(CacheBackend):
         key TEXT PRIMARY KEY,
         shard TEXT NOT NULL,
         kind TEXT NOT NULL DEFAULT '',
-        payload TEXT NOT NULL
+        payload TEXT NOT NULL,
+        created_at REAL NOT NULL DEFAULT 0
     );
     CREATE INDEX IF NOT EXISTS entries_shard ON entries (shard);
+    CREATE INDEX IF NOT EXISTS entries_created ON entries (created_at);
     CREATE TABLE IF NOT EXISTS quarantine (
         key TEXT PRIMARY KEY,
         payload TEXT NOT NULL
     );
+    CREATE TABLE IF NOT EXISTS meta (
+        key TEXT PRIMARY KEY,
+        value REAL NOT NULL
+    );
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        ttl_s: "float | None" = None,
+        max_entries: "int | None" = None,
+    ) -> None:
         super().__init__()
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError(f"ttl_s must be positive, got {ttl_s}")
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
         self.path = Path(path).expanduser()
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self.expired = 0
+        self.evictions = 0
+        #: Injection point for the TTL tests; wall clock in production.
+        self._clock = time.time
         self._lock = threading.Lock()
         self._conn: "sqlite3.Connection | None" = None
 
@@ -375,9 +416,38 @@ class SqliteBackend(CacheBackend):
             self.path.parent.mkdir(parents=True, exist_ok=True)
             conn = sqlite3.connect(str(self.path), check_same_thread=False)
             conn.executescript(self._SCHEMA)
+            try:
+                # migrate pre-timestamp databases in place
+                conn.execute(
+                    "ALTER TABLE entries ADD COLUMN "
+                    "created_at REAL NOT NULL DEFAULT 0"
+                )
+            except sqlite3.Error:
+                pass  # column already exists
             conn.commit()
+            for meta_key, attr in (("expired", "expired"),
+                                   ("evicted", "evictions")):
+                try:
+                    row = conn.execute(
+                        "SELECT value FROM meta WHERE key = ?", (meta_key,)
+                    ).fetchone()
+                except sqlite3.Error:
+                    row = None
+                if row is not None:
+                    setattr(self, attr, int(row[0]))
             self._conn = conn
         return self._conn
+
+    def _bump_meta_locked(self, meta_key: str, delta: int) -> None:
+        """Persist a retention counter increment (lock held, best effort)."""
+        try:
+            self._connection().execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = value + ?",
+                (meta_key, delta, delta),
+            )
+        except sqlite3.Error:
+            pass
 
     def _do_get(self, key: str) -> "dict | list | None":
         with self._lock:
@@ -385,7 +455,9 @@ class SqliteBackend(CacheBackend):
                 row = (
                     self._connection()
                     .execute(
-                        "SELECT payload FROM entries WHERE key = ?", (key,)
+                        "SELECT payload, created_at FROM entries "
+                        "WHERE key = ?",
+                        (key,),
                     )
                     .fetchone()
                 )
@@ -393,15 +465,58 @@ class SqliteBackend(CacheBackend):
                 return None
             if row is None:
                 return None
+            blob, created_at = row
+            if (
+                self.ttl_s is not None
+                and created_at
+                and self._clock() - created_at > self.ttl_s
+            ):
+                try:
+                    conn = self._connection()
+                    conn.execute(
+                        "DELETE FROM entries WHERE key = ?", (key,)
+                    )
+                    self.expired += 1
+                    self._bump_meta_locked("expired", 1)
+                    conn.commit()
+                except sqlite3.Error:
+                    pass
+                return None
             try:
-                payload = json.loads(row[0])
+                payload = json.loads(blob)
             except (ValueError, TypeError):
-                self._quarantine_locked(key, row[0])
+                self._quarantine_locked(key, blob)
                 return None
             if not isinstance(payload, (dict, list)):
-                self._quarantine_locked(key, row[0])
+                self._quarantine_locked(key, blob)
                 return None
             return payload
+
+    def purge_expired(self) -> int:
+        """Eagerly delete every expired row; returns the count removed."""
+        if self.ttl_s is None:
+            return 0
+        cutoff = self._clock() - self.ttl_s
+        with self._lock:
+            try:
+                conn = self._connection()
+                count = conn.execute(
+                    "SELECT COUNT(*) FROM entries "
+                    "WHERE created_at > 0 AND created_at < ?",
+                    (cutoff,),
+                ).fetchone()[0]
+                if count:
+                    conn.execute(
+                        "DELETE FROM entries "
+                        "WHERE created_at > 0 AND created_at < ?",
+                        (cutoff,),
+                    )
+                    self.expired += count
+                    self._bump_meta_locked("expired", count)
+                    conn.commit()
+                return int(count)
+            except sqlite3.Error:
+                return 0
 
     def _quarantine_locked(self, key: str, blob: str) -> None:
         """Move a corrupt row into the quarantine table (lock held)."""
@@ -425,13 +540,32 @@ class SqliteBackend(CacheBackend):
                 conn = self._connection()
                 conn.execute(
                     "INSERT OR REPLACE INTO entries "
-                    "(key, shard, kind, payload) VALUES (?, ?, ?, ?)",
-                    (key, key[:SHARD_CHARS], kind, blob),
+                    "(key, shard, kind, payload, created_at) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (key, key[:SHARD_CHARS], kind, blob, self._clock()),
                 )
+                self._evict_over_high_water_locked(conn)
                 conn.commit()
                 return True
             except sqlite3.Error:
                 return False
+
+    def _evict_over_high_water_locked(self, conn: sqlite3.Connection) -> None:
+        """Evict oldest rows past ``max_entries`` (lock held, pre-commit)."""
+        if self.max_entries is None:
+            return
+        count = conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        over = int(count) - self.max_entries
+        if over <= 0:
+            return
+        conn.execute(
+            "DELETE FROM entries WHERE key IN ("
+            "SELECT key FROM entries ORDER BY created_at ASC, key ASC "
+            "LIMIT ?)",
+            (over,),
+        )
+        self.evictions += over
+        self._bump_meta_locked("evicted", over)
 
     def discard(self, key: str) -> None:
         with self._lock:
@@ -493,6 +627,10 @@ class SqliteBackend(CacheBackend):
             "shards": self._shard_summary(shard_counts),
             "corrupt_entries": len(corrupt_rows),
             "corrupt_bytes": corrupt_bytes,
+            "ttl_s": self.ttl_s,
+            "max_entries": self.max_entries,
+            "expired": self.expired,
+            "evictions": self.evictions,
         }
         if detail:
             entry_list.sort(key=lambda entry: (-entry["bytes"], entry["key"]))
@@ -813,6 +951,8 @@ def make_backend(
     *,
     lru_entries: int = DEFAULT_LRU_ENTRIES,
     write_policy: str = "write-back",
+    ttl_s: "float | None" = None,
+    max_entries: "int | None" = None,
 ) -> CacheBackend:
     """Build a backend (or tiered stack) from a spec string.
 
@@ -822,6 +962,8 @@ def make_backend(
     ``"memory,dir"``. ``root`` locates the on-disk tiers (the sqlite
     file is ``<root>/cache.sqlite``); it defaults to the runner's cache
     directory, so a server and ``repro run`` share entries by default.
+    ``ttl_s`` / ``max_entries`` configure retention on the sqlite tiers
+    (see :class:`SqliteBackend`); the other backends ignore them.
     """
     from ..runner.cache import default_cache_dir
 
@@ -836,7 +978,13 @@ def make_backend(
         if name == "dir":
             tiers.append(DirectoryBackend(resolved_root))
         elif name == "sqlite":
-            tiers.append(SqliteBackend(resolved_root / SQLITE_FILENAME))
+            tiers.append(
+                SqliteBackend(
+                    resolved_root / SQLITE_FILENAME,
+                    ttl_s=ttl_s,
+                    max_entries=max_entries,
+                )
+            )
         elif name == "memory":
             tiers.append(MemoryLRUBackend(max_entries=lru_entries))
         else:

@@ -1,0 +1,193 @@
+"""Per-shard circuit breaker: closed / open / half-open.
+
+The router keeps one :class:`CircuitBreaker` per shard. The state
+machine is the classic one:
+
+- **closed** — requests flow. Every failure increments a consecutive-
+  failure counter; any success resets it. Hitting
+  ``failure_threshold`` consecutive failures trips the breaker open.
+- **open** — requests are refused locally (the router fails the digest
+  range over to a fallback shard instead of waiting on a dead socket).
+  The open interval is *deterministic* exponential backoff computed by
+  a :class:`~repro.resilience.retry.RetryPolicy` — trip ``n`` stays
+  open ``min(base * 2**(n-1), max)`` seconds with sha256-derived
+  jitter, so a chaos run replays the same breaker timeline every time.
+- **half-open** — once the open interval elapses, the next
+  ``half_open_probes`` requests are allowed through as trials. A trial
+  success closes the breaker (counters reset); a trial failure re-opens
+  it with the *next* backoff step, so a flapping shard is probed less
+  and less often.
+
+The breaker never raises by itself — it only answers :meth:`allow` and
+records outcomes — so policy (what counts as a failure, what to do
+when refused) stays in the router. Time is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..resilience.retry import RetryPolicy
+
+#: The three breaker states, as they appear in ``/stats`` snapshots.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; retry on a deterministic backoff.
+
+    Parameters
+    ----------
+    label:
+        Names this breaker (the shard URL) in snapshots and seeds the
+        jitter draws, so two shards' breakers never re-probe in
+        lockstep.
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    reset_timeout_s / max_reset_timeout_s:
+        Base and cap of the open-interval backoff; trip ``n`` stays
+        open ``min(base * 2**(n-1), cap)`` seconds (jittered).
+    half_open_probes:
+        Trial requests allowed through per half-open episode.
+    seed:
+        Folded into the jitter draws alongside ``label``.
+    on_open:
+        Optional callback fired on every closed/half-open -> open
+        transition (the router counts these as ``serve.breaker_opens``).
+    clock:
+        Monotonic time source; injectable so tests step time instead of
+        sleeping.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 1.0,
+        max_reset_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        seed: int = 0,
+        on_open: "Callable[[CircuitBreaker], None] | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        if reset_timeout_s <= 0 or max_reset_timeout_s < reset_timeout_s:
+            raise ConfigurationError(
+                "reset timeouts must satisfy 0 < reset_timeout_s <= "
+                f"max_reset_timeout_s, got {reset_timeout_s} / "
+                f"{max_reset_timeout_s}"
+            )
+        self.label = label
+        self.failure_threshold = failure_threshold
+        self.half_open_probes = half_open_probes
+        self.on_open = on_open
+        self._clock = clock
+        # the open-interval schedule IS a retry schedule: reuse the
+        # deterministic-backoff machinery instead of reimplementing it
+        self._backoff = RetryPolicy(
+            max_attempts=2,
+            base_delay_s=reset_timeout_s,
+            max_delay_s=max_reset_timeout_s,
+            jitter=0.5,
+            seed=seed,
+        )
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._trips = 0
+        self._opened_at = 0.0
+        self._retry_at = 0.0
+        self._probes_left = 0
+        #: Lifetime counters for snapshots.
+        self.successes = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when its timer ran."""
+        if self._state == OPEN and self._clock() >= self._retry_at:
+            self._state = HALF_OPEN
+            self._probes_left = self.half_open_probes
+        return self._state
+
+    @property
+    def trips(self) -> int:
+        """Times this breaker has opened since construction."""
+        return self._trips
+
+    def allow(self) -> bool:
+        """Whether one request may proceed right now.
+
+        Closed always allows; open refuses; half-open allows while trial
+        probes remain in this episode (each call consumes one).
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A request through this shard succeeded."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """A request through this shard failed (peer-side)."""
+        self.failures += 1
+        self._consecutive_failures += 1
+        state = self.state
+        if state == HALF_OPEN or (
+            state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._trips += 1
+        self._state = OPEN
+        self._opened_at = self._clock()
+        # attempt index grows with the trip count: a shard that keeps
+        # failing its half-open probes backs off further each episode
+        self._retry_at = self._opened_at + self._backoff.delay_s(
+            self.label, self._trips
+        )
+        if self.on_open is not None:
+            self.on_open(self)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``/stats``."""
+        state = self.state
+        now = self._clock()
+        return {
+            "state": state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "trips": self._trips,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retry_in_s": (
+                max(0.0, self._retry_at - now) if state == OPEN else 0.0
+            ),
+        }

@@ -20,12 +20,30 @@ Routes::
 Typed service errors carry their own HTTP status
 (:func:`repro.serve.service.error_status`); anything unexpected is a
 500 with the exception type named, never a dropped connection.
+
+The server fronts anything that implements the service protocol —
+``start`` / ``close`` / ``submit`` / ``lookup`` / ``stats`` / a
+``telemetry`` registry — so the same transport serves a single-process
+:class:`~repro.serve.service.CharacterizationService` shard and the
+:class:`~repro.serve.cluster.ClusterRouter`. ``/healthz`` consults the
+service's ``health_payload()`` when it has one, answering 503 with
+``ok: false`` while draining so load balancers and the cluster health
+monitor stop routing here before the socket closes.
+
+Graceful drain (:meth:`HttpServer.drain`, wired to SIGTERM by
+:func:`serve`): stop accepting connections, wait for requests already
+being handled, drain the service (which flushes pending cache
+write-backs), then exit 0 — killing a shard costs availability of its
+digest range for a probe interval, never a lost in-flight response.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import signal
+import time
 from typing import Callable
 
 from ..telemetry.exporters import prometheus_text
@@ -68,6 +86,8 @@ class HttpServer:
         self.host = host
         self.port = port
         self._server: "asyncio.base_events.Server | None" = None
+        #: Requests currently inside ``_dispatch`` (drain waits on it).
+        self._active_requests = 0
 
     async def start(self) -> None:
         """Start the service and begin accepting connections."""
@@ -90,6 +110,38 @@ class HttpServer:
             await self._server.wait_closed()
             self._server = None
         await self.service.close()
+
+    async def drain(self, timeout_s: "float | None" = 30.0) -> dict:
+        """Graceful shutdown: refuse new work, finish what's in flight.
+
+        Three phases: (1) close the listening socket so no new
+        connections arrive (established keep-alive connections keep
+        being read — their next request gets a 503 once the service is
+        draining); (2) drain the service — it stops admitting requests
+        and waits out its queue and running computes, flushing pending
+        cache write-backs; (3) wait for responses still being written.
+        Returns the service's drain summary plus the requests this
+        transport was still handling.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        summary: dict = {"drained": True}
+        service_drain = getattr(self.service, "drain", None)
+        if service_drain is not None:
+            summary = await service_drain(timeout_s=timeout_s)
+        deadline = (
+            None if timeout_s is None
+            else time.monotonic() + max(0.0, timeout_s)
+        )
+        while self._active_requests > 0:
+            if deadline is not None and time.monotonic() > deadline:
+                summary["drained"] = False
+                break
+            await asyncio.sleep(0.01)
+        summary["transport_in_flight"] = self._active_requests
+        return summary
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -130,6 +182,7 @@ class HttpServer:
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> "tuple[int, bytes]":
+        self._active_requests += 1
         try:
             if method == "GET":
                 return await self._dispatch_get(path)
@@ -142,10 +195,15 @@ class HttpServer:
                 f"{type(exc).__name__}: {exc}"
             )
             return _error_payload(status, detail)
+        finally:
+            self._active_requests -= 1
 
     async def _dispatch_get(self, path: str) -> "tuple[int, bytes]":
         if path == "/healthz":
-            return 200, _json_bytes({"ok": True})
+            health = getattr(self.service, "health_payload", None)
+            payload = health() if health is not None else {"ok": True}
+            status = 200 if payload.get("ok") else 503
+            return status, _json_bytes(payload)
         if path == "/metrics":
             text = prometheus_text(self.service.telemetry)
             return 200, text.encode("utf-8")
@@ -235,20 +293,83 @@ def _error_payload(status: int, detail: str) -> "tuple[int, bytes]":
     return status, _json_bytes({"error": detail, "status": status})
 
 
+async def serve_service(
+    service: CharacterizationService,
+    host: str = "127.0.0.1",
+    port: int = 8650,
+    ready: "Callable[[HttpServer], None] | None" = None,
+    drain_timeout_s: float = 30.0,
+    install_signals: bool = True,
+) -> None:
+    """Front ``service`` with HTTP until stopped; drain on SIGTERM.
+
+    The shared run loop behind ``repro serve`` and ``repro route``:
+    accepts any service-protocol object (a shard service or a cluster
+    router). On SIGTERM/SIGINT the server drains — stops accepting,
+    finishes in-flight work, flushes caches — and this coroutine
+    returns normally, so the process exits 0.
+    """
+    server = HttpServer(service, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                # non-unix loops: fall back to KeyboardInterrupt
+                continue
+    forever = asyncio.ensure_future(server.serve_forever())
+    stopper = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait(
+            {forever, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop.is_set():
+            summary = await server.drain(timeout_s=drain_timeout_s)
+            if ready is not None:  # only log when interactive
+                print(f"drained: {summary}", flush=True)
+    except asyncio.CancelledError:
+        raise
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        for task in (forever, stopper):
+            task.cancel()
+            with contextlib.suppress(
+                asyncio.CancelledError, ConnectionError, OSError
+            ):
+                await task
+        await server.close()
+
+
 async def serve(
     config: "ServiceConfig | None" = None,
     host: str = "127.0.0.1",
     port: int = 8650,
     ready: "Callable[[HttpServer], None] | None" = None,
+    warm_manifest: "str | None" = None,
 ) -> None:
-    """Run a server until cancelled (the ``repro serve`` entry point)."""
-    server = HttpServer(CharacterizationService(config), host=host, port=port)
-    await server.start()
-    if ready is not None:
-        ready(server)
-    try:
-        await server.serve_forever()
-    except asyncio.CancelledError:
-        raise
-    finally:
-        await server.close()
+    """Run a shard server until stopped (the ``repro serve`` entry point).
+
+    ``warm_manifest`` pre-seeds the cache backend from a ``repro run``
+    manifest before the listening socket opens, so the first request
+    wave hits a hot cache.
+    """
+    service = CharacterizationService(config)
+    if warm_manifest is not None:
+        from .service import warm_from_manifest
+
+        counts = warm_from_manifest(service.backend, warm_manifest)
+        print(
+            f"warm: {counts['warmed']} warmed, "
+            f"{counts['already_present']} already present, "
+            f"{counts['missing']} missing of {counts['records']} records",
+            flush=True,
+        )
+    await serve_service(service, host=host, port=port, ready=ready)

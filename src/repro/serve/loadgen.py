@@ -51,7 +51,10 @@ class LoadgenConfig:
     pass by ``clients`` concurrent keep-alive connections, ``passes``
     times over. ``url=None`` boots a private in-process server with
     the given ``backend``/``cache_dir``/``max_inflight``; a non-None
-    ``url`` replays against a running ``repro serve``.
+    ``url`` replays against a running ``repro serve``. ``shards >= 1``
+    boots a :class:`~repro.serve.cluster.LocalCluster` instead — that
+    many shard servers behind a router — so the report measures the
+    routed path (``hedge`` enables hedged reads on it).
     """
 
     scenarios: int = 6
@@ -65,6 +68,8 @@ class LoadgenConfig:
     engine: "str | None" = None
     max_inflight: int = 4
     deadline_s: float = 120.0
+    shards: int = 0
+    hedge: bool = False
 
     def __post_init__(self) -> None:
         for name in ("scenarios", "requests", "clients", "passes"):
@@ -73,6 +78,16 @@ class LoadgenConfig:
                 raise ConfigurationError(
                     f"loadgen {name} must be a positive integer, got {value!r}"
                 )
+        if not isinstance(self.shards, int) or self.shards < 0:
+            raise ConfigurationError(
+                f"loadgen shards must be a non-negative integer, "
+                f"got {self.shards!r}"
+            )
+        if self.shards and self.url is not None:
+            raise ConfigurationError(
+                "shards boots a private in-process cluster; it cannot be "
+                "combined with url"
+            )
 
 
 def loadgen_scenarios(
@@ -234,22 +249,36 @@ async def run_loadgen_async(config: LoadgenConfig) -> dict:
     specs = [scenario.to_spec() for scenario in scenarios]
 
     server: "HttpServer | None" = None
-    if config.url is None:
-        service = CharacterizationService(
-            ServiceConfig(
-                backend=config.backend,
-                cache_dir=config.cache_dir,
-                max_inflight=config.max_inflight,
+    cluster = None
+    service_config = ServiceConfig(
+        backend=config.backend,
+        cache_dir=config.cache_dir,
+        max_inflight=config.max_inflight,
+        deadline_s=config.deadline_s,
+        queue_limit=max(64, config.clients * 2),
+        retry=RetryPolicy(max_attempts=2, base_delay_s=0.05),
+    )
+    if config.url is not None:
+        url = config.url
+    elif config.shards:
+        from .cluster import ClusterConfig, LocalCluster
+
+        cluster = LocalCluster(
+            config.shards,
+            service_config=service_config,
+            cluster_config=ClusterConfig(
+                hedge=config.hedge,
                 deadline_s=config.deadline_s,
+                max_inflight=max(config.max_inflight, config.clients),
                 queue_limit=max(64, config.clients * 2),
-                retry=RetryPolicy(max_attempts=2, base_delay_s=0.05),
-            )
+            ),
         )
-        server = HttpServer(service, port=0)
+        await cluster.start()
+        url = cluster.url
+    else:
+        server = HttpServer(CharacterizationService(service_config), port=0)
         await server.start()
         url = server.url
-    else:
-        url = config.url
 
     passes: "list[dict]" = []
     result_digests: dict[str, str] = {}
@@ -285,10 +314,17 @@ async def run_loadgen_async(config: LoadgenConfig) -> dict:
                 if previous != row_digest:
                     consistent = False
             passes.append(report)
-        server_stats = server.service.stats() if server is not None else None
+        if cluster is not None and cluster.router is not None:
+            server_stats = cluster.router.stats()
+        elif server is not None:
+            server_stats = server.service.stats()
+        else:
+            server_stats = None
     finally:
         if server is not None:
             await server.close()
+        if cluster is not None:
+            await cluster.close()
 
     return {
         FORMAT_KEY: FORMAT_VERSION,
@@ -301,6 +337,8 @@ async def run_loadgen_async(config: LoadgenConfig) -> dict:
             "backend": config.backend if config.url is None else None,
             "url": config.url,
             "engine": config.engine,
+            "shards": config.shards,
+            "hedge": config.hedge,
         },
         "passes": passes,
         "hit_ratio_trajectory": [entry["hit_ratio"] for entry in passes],

@@ -128,6 +128,43 @@ def error_status(exc: BaseException) -> int:
     return int(getattr(exc, "status", 500))
 
 
+def parse_request(verb: str, spec_payload: Mapping) -> Any:
+    """Parse + validate a spec against ``verb``; 400 on any problem.
+
+    Shared by the single-process service and the cluster router — both
+    must agree on what a request *is* (and on the digest it keys) for
+    a routed request to land in the same cache entry either way.
+    """
+    from ..scenario.core import Scenario
+
+    expected = VERB_KINDS.get(verb)
+    if expected is None:
+        raise BadRequestError(
+            f"unknown verb {verb!r}; available: {sorted(VERB_KINDS)}"
+        )
+    if not isinstance(spec_payload, Mapping):
+        raise BadRequestError(
+            "request body must be a scenario spec object, got "
+            f"{type(spec_payload).__name__}"
+        )
+    try:
+        scenario = Scenario.from_spec(spec_payload)
+    except MessError as exc:
+        raise BadRequestError(f"invalid scenario spec: {exc}") from exc
+    kind = str(scenario.workload.get("kind", ""))
+    if kind != expected:
+        raise BadRequestError(
+            f"verb {verb!r} expects a {expected!r} workload, the "
+            f"scenario {scenario.name!r} declares {kind!r}"
+        )
+    problems = scenario.validate()
+    if problems:
+        raise BadRequestError(
+            f"scenario {scenario.name!r}: " + "; ".join(problems)
+        )
+    return scenario
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Tunables of one service instance.
@@ -154,6 +191,10 @@ class ServiceConfig:
         this long fails with ``DeadlineExceededError`` (504).
     retry:
         Policy for transient compute failures inside a flight.
+    ttl_s / max_entries:
+        Expiry and high-water eviction for sqlite tiers (see
+        :class:`~repro.serve.backends.SqliteBackend`); ignored by the
+        other backends.
     """
 
     backend: str = "tiered"
@@ -166,6 +207,8 @@ class ServiceConfig:
             max_attempts=2, base_delay_s=0.05, max_delay_s=1.0, jitter=0.5
         )
     )
+    ttl_s: "float | None" = None
+    max_entries: "int | None" = None
 
     def __post_init__(self) -> None:
         for part in self.backend.split(","):
@@ -198,14 +241,19 @@ class CharacterizationService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.backend = backend if backend is not None else make_backend(
-            self.config.backend, self.config.cache_dir
+            self.config.backend,
+            self.config.cache_dir,
+            ttl_s=self.config.ttl_s,
+            max_entries=self.config.max_entries,
         )
         self.telemetry = TelemetryRegistry()
         self.flights = SingleFlight()
         self._executor: "ThreadPoolExecutor | None" = None
         self._semaphore: "asyncio.Semaphore | None" = None
         self._waiting = 0
+        self._active = 0
         self._closed = False
+        self._draining = False
         tel = self.telemetry
         self._requests = tel.counter("serve.requests", help="requests received")
         self._hits = tel.counter("serve.hits", help="served from cache")
@@ -247,6 +295,59 @@ class CharacterizationService:
         )
         self._semaphore = asyncio.Semaphore(self.config.max_inflight)
         self._closed = False
+        self._draining = False
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new requests are admitted (not draining/closed)."""
+        return not (self._closed or self._draining)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently inside :meth:`submit` / :meth:`lookup`."""
+        return self._active
+
+    def health_payload(self) -> dict:
+        """The ``/healthz`` body: ``ok`` flips false while draining.
+
+        A draining instance answers probes before it stops answering
+        traffic, so the router's health monitor pulls its digest range
+        without a single dropped request.
+        """
+        return {"ok": self.accepting, "draining": self._draining}
+
+    async def drain(self, timeout_s: "float | None" = None) -> dict:
+        """Graceful shutdown, phase one: stop accepting, flush, report.
+
+        New requests are refused with 503 immediately; requests already
+        inside the service (queued waiters, running computes) are given
+        up to ``timeout_s`` seconds (forever when ``None``) to finish.
+        Pending tiered write-backs are then flushed so the durable tier
+        holds everything the fast tier ever acknowledged. Returns a
+        summary; call :meth:`close` afterwards to release resources.
+        """
+        self._draining = True
+        start = time.perf_counter()
+        drained = True
+        while self._active > 0 or self.flights.in_flight > 0:
+            if (
+                timeout_s is not None
+                and time.perf_counter() - start > timeout_s
+            ):
+                drained = False
+                break
+            await asyncio.sleep(0.01)
+        flushed = 0
+        if isinstance(self.backend, TieredBackend):
+            flushed = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self.backend.flush
+            )
+        return {
+            "drained": drained,
+            "abandoned_in_flight": self._active + self.flights.in_flight,
+            "flushed_writes": flushed,
+            "drain_s": time.perf_counter() - start,
+        }
 
     async def close(self) -> None:
         """Stop accepting work and release executor/backend resources."""
@@ -276,34 +377,7 @@ class CharacterizationService:
 
     def _parse(self, verb: str, spec_payload: Mapping) -> Any:
         """Parse + validate a spec against ``verb``; 400 on any problem."""
-        from ..scenario.core import Scenario
-
-        expected = VERB_KINDS.get(verb)
-        if expected is None:
-            raise BadRequestError(
-                f"unknown verb {verb!r}; available: {sorted(VERB_KINDS)}"
-            )
-        if not isinstance(spec_payload, Mapping):
-            raise BadRequestError(
-                "request body must be a scenario spec object, got "
-                f"{type(spec_payload).__name__}"
-            )
-        try:
-            scenario = Scenario.from_spec(spec_payload)
-        except MessError as exc:
-            raise BadRequestError(f"invalid scenario spec: {exc}") from exc
-        kind = str(scenario.workload.get("kind", ""))
-        if kind != expected:
-            raise BadRequestError(
-                f"verb {verb!r} expects a {expected!r} workload, the "
-                f"scenario {scenario.name!r} declares {kind!r}"
-            )
-        problems = scenario.validate()
-        if problems:
-            raise BadRequestError(
-                f"scenario {scenario.name!r}: " + "; ".join(problems)
-            )
-        return scenario
+        return parse_request(verb, spec_payload)
 
     def _compute_sync(self, scenario: Any, key: str) -> "dict | list":
         """Cache-or-compute one scenario on an executor thread.
@@ -379,6 +453,13 @@ class CharacterizationService:
         """
         start = time.perf_counter()
         self._requests.inc()
+        if not self.accepting:
+            self._rejected.inc()
+            raise ServiceUnavailableError(
+                "service is draining" if self._draining
+                else "service is not running"
+            )
+        self._active += 1
         try:
             scenario = self._parse(verb, spec_payload)
             key = scenario.digest()
@@ -422,23 +503,39 @@ class CharacterizationService:
                 self._errors.inc()
             self._latency_ms.observe((time.perf_counter() - start) * 1e3)
             raise
+        finally:
+            self._active -= 1
 
     async def lookup(self, digest: str) -> dict:
         """Serve a result by digest from cache only; 404 when absent."""
         self._requests.inc()
+        if not self.accepting:
+            self._rejected.inc()
+            raise ServiceUnavailableError(
+                "service is draining" if self._draining
+                else "service is not running"
+            )
         if not digest or any(c not in "0123456789abcdef" for c in digest):
             raise BadRequestError(f"not a hex digest: {digest!r}")
-        payload = await self._offload(self.backend.get, digest)
-        if payload is None:
-            self._misses.inc()
-            raise NotFoundError(f"no cached result for digest {digest}")
-        self._hits.inc()
-        return {"digest": digest, "cached": True, "result": payload}
+        self._active += 1
+        try:
+            payload = await self._offload(self.backend.get, digest)
+            if payload is None:
+                self._misses.inc()
+                raise NotFoundError(f"no cached result for digest {digest}")
+            self._hits.inc()
+            return {"digest": digest, "cached": True, "result": payload}
+        finally:
+            self._active -= 1
 
     def stats(self) -> dict:
         """JSON-ready operational snapshot (the ``/stats`` endpoint)."""
         summary = self.telemetry.summary()
         return {
+            "role": "shard",
+            "accepting": self.accepting,
+            "draining": self._draining,
+            "in_flight": self._active,
             "counters": summary["counters"],
             "gauges": summary["gauges"],
             "histograms": summary["histograms"],
@@ -455,3 +552,74 @@ class CharacterizationService:
                 "deadline_s": self.config.deadline_s,
             },
         }
+
+
+def warm_from_manifest(
+    backend: CacheBackend,
+    manifest_path: "str | Any",
+    source: "CacheBackend | None" = None,
+) -> dict:
+    """Pre-seed ``backend`` from a ``repro run`` manifest's results.
+
+    The manifest records which scenarios a sweep ran; their payloads
+    live in the runner's content-addressed cache under the scenario
+    digest. Warming walks every successful record, recomputes its
+    scenario digest (from ``scenario_spec`` for scenario records, from
+    ``experiment_id``/``scale``/``options`` for experiment records),
+    reads the payload from ``source`` (the runner's directory cache by
+    default) and writes it through ``backend`` — so the first request
+    wave after a deploy hits a hot cache instead of a compute storm.
+
+    Synchronous and blocking by design: it runs *before* the server
+    starts accepting traffic. Returns
+    ``{"records", "warmed", "already_present", "missing", "failed"}``.
+    """
+    from ..runner.cache import default_cache_dir
+    from ..runner.manifest import RunManifest
+    from ..scenario.core import Scenario
+
+    manifest = RunManifest.read(manifest_path)
+    if source is None:
+        from .backends import DirectoryBackend
+
+        source = DirectoryBackend(default_cache_dir())
+    warmed = present = missing = failed = 0
+    for record in manifest.records:
+        if record.status != "ok":
+            continue
+        try:
+            if record.scenario_spec is not None:
+                scenario = Scenario.from_spec(record.scenario_spec)
+            else:
+                options = dict(record.options)
+                engine = options.pop("engine", None)
+                scenario = Scenario.for_experiment(
+                    record.experiment_id,
+                    scale=record.scale,
+                    options=options,
+                    engine=engine,
+                )
+            key = scenario.digest()
+        except MessError:
+            failed += 1
+            continue
+        if backend.get(key) is not None:
+            present += 1
+            continue
+        payload = source.get(key)
+        if payload is None:
+            missing += 1
+            continue
+        if backend.put(key, payload, kind="scenario-result"):
+            warmed += 1
+        else:
+            failed += 1
+    if isinstance(backend, TieredBackend):
+        backend.flush()
+    return {
+        "records": len(manifest.records),
+        "warmed": warmed,
+        "already_present": present,
+        "missing": missing,
+        "failed": failed,
+    }

@@ -264,6 +264,117 @@ class TestTiered:
             TieredBackend([MemoryLRUBackend()], write_policy="sometimes")
 
 
+class TestSqliteRetention:
+    KEYS = [format(n, "064x") for n in range(5)]
+
+    def test_ttl_expires_lazily_on_read(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "s.sqlite", ttl_s=10.0)
+        now = [1000.0]
+        backend._clock = lambda: now[0]
+        backend.put(KEY, PAYLOAD)
+        assert backend.get(KEY) == PAYLOAD
+        now[0] += 11.0
+        assert backend.get(KEY) is None
+        assert backend.expired == 1
+        # the expired row is gone, not resurrected
+        assert backend.get(KEY) is None
+        assert backend.expired == 1
+        backend.close()
+
+    def test_high_water_evicts_oldest_first(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "s.sqlite", max_entries=3)
+        now = [0.0]
+        backend._clock = lambda: now[0]
+        for n, key in enumerate(self.KEYS):
+            now[0] = float(n)
+            backend.put(key, {"n": n})
+        assert backend.evictions == 2
+        assert backend.get(self.KEYS[0]) is None
+        assert backend.get(self.KEYS[1]) is None
+        assert backend.get(self.KEYS[-1]) == {"n": 4}
+        assert backend.info()["entries"] == 3
+        backend.close()
+
+    def test_purge_expired_bulk_deletes(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "s.sqlite", ttl_s=5.0)
+        now = [100.0]
+        backend._clock = lambda: now[0]
+        for key in self.KEYS:
+            backend.put(key, PAYLOAD)
+        now[0] += 6.0
+        assert backend.purge_expired() == 5
+        assert backend.expired == 5
+        assert backend.info()["entries"] == 0
+        # without a TTL, purge is a no-op by definition
+        plain = SqliteBackend(tmp_path / "p.sqlite")
+        assert plain.purge_expired() == 0
+        plain.close()
+        backend.close()
+
+    def test_retention_counters_survive_reopen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        backend = SqliteBackend(path, ttl_s=5.0, max_entries=2)
+        now = [0.0]
+        backend._clock = lambda: now[0]
+        for n, key in enumerate(self.KEYS[:3]):
+            now[0] = float(n)
+            backend.put(key, PAYLOAD)  # third put evicts one
+        now[0] += 10.0
+        backend.get(self.KEYS[2])  # expires one
+        assert (backend.evictions, backend.expired) == (1, 1)
+        backend.close()
+        reopened = SqliteBackend(path, ttl_s=5.0, max_entries=2)
+        # the connection (and the persisted counters) load on first use
+        info = reopened.info()
+        assert info["evictions"] == 1
+        assert info["expired"] == 1
+        assert reopened.evictions == 1
+        reopened.close()
+
+    def test_legacy_rows_are_ttl_exempt(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        backend = SqliteBackend(path)
+        backend.put(KEY, PAYLOAD)
+        with backend._lock:
+            # a row migrated from a pre-retention store has created_at=0
+            backend._connection().execute(
+                "UPDATE entries SET created_at = 0 WHERE key = ?", (KEY,)
+            )
+            backend._connection().commit()
+        backend.close()
+        aged = SqliteBackend(path, ttl_s=0.001)
+        assert aged.get(KEY) == PAYLOAD
+        assert aged.expired == 0
+        aged.close()
+
+    def test_info_reports_retention(self, tmp_path):
+        backend = SqliteBackend(
+            tmp_path / "s.sqlite", ttl_s=60.0, max_entries=10
+        )
+        info = backend.info()
+        assert info["ttl_s"] == 60.0
+        assert info["max_entries"] == 10
+        assert info["expired"] == 0
+        assert info["evictions"] == 0
+        backend.close()
+
+    def test_rejects_bad_retention_config(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SqliteBackend(tmp_path / "a.sqlite", ttl_s=0)
+        with pytest.raises(ConfigurationError):
+            SqliteBackend(tmp_path / "b.sqlite", max_entries=0)
+
+    def test_make_backend_threads_retention_to_sqlite_tiers(self, tmp_path):
+        stack = make_backend(
+            "memory,sqlite", tmp_path / "s", ttl_s=60.0, max_entries=9
+        )
+        memory_tier, sqlite_tier = stack.tiers
+        assert sqlite_tier.ttl_s == 60.0
+        assert sqlite_tier.max_entries == 9
+        assert not hasattr(memory_tier, "ttl_s")
+        stack.close()
+
+
 class TestMakeBackend:
     def test_named_specs(self, tmp_path):
         assert make_backend("dir", tmp_path / "a").kind == "dir"

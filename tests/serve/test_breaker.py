@@ -1,0 +1,151 @@
+"""The circuit breaker state machine, driven by a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(clock, **kwargs):
+    defaults = dict(
+        failure_threshold=3,
+        reset_timeout_s=1.0,
+        max_reset_timeout_s=30.0,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("shard-0", **defaults)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow() is True
+
+    def test_trips_open_after_threshold_consecutive_failures(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_becomes_half_open_after_the_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        # the deterministic backoff delay is bounded by the jittered
+        # base; advancing past the max for trip 1 must re-admit probes
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow() is True
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() is True
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+
+    def test_half_open_admits_only_the_probe_budget(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow() is True
+        assert breaker.allow() is False  # second concurrent probe refused
+
+    def test_backoff_grows_with_consecutive_trips(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        delays = []
+        for _ in range(3):
+            for _ in range(3):
+                breaker.record_failure()
+            delays.append(breaker.snapshot()["retry_in_s"])
+            clock.advance(delays[-1] + 0.001)
+            assert breaker.state == HALF_OPEN
+            breaker.record_failure()  # probe fails: next trip
+        # exponential backoff: every later open interval is at least as
+        # long as the first (jitter is deterministic, never negative)
+        assert delays[0] > 0
+        assert delays[2] >= delays[0]
+
+    def test_backoff_is_deterministic_per_seed(self):
+        def trip_delay(seed):
+            breaker = make_breaker(FakeClock(), seed=seed)
+            for _ in range(3):
+                breaker.record_failure()
+            return breaker.snapshot()["retry_in_s"]
+
+        assert trip_delay(0) == trip_delay(0)
+        assert trip_delay(0) != trip_delay(7)
+
+    def test_on_open_fires_per_transition(self):
+        clock = FakeClock()
+        opened = []
+        breaker = make_breaker(clock, on_open=opened.append)
+        for _ in range(3):
+            breaker.record_failure()
+        assert len(opened) == 1 and opened[0] is breaker
+        clock.advance(2.0)
+        breaker.record_failure()  # half-open probe failure -> reopen
+        assert len(opened) == 2
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        snapshot = json.loads(json.dumps(breaker.snapshot()))
+        assert snapshot["state"] == CLOSED
+        assert snapshot["consecutive_failures"] == 1
+        assert snapshot["failure_threshold"] == 3
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            make_breaker(FakeClock(), failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            make_breaker(FakeClock(), reset_timeout_s=0.0)

@@ -52,7 +52,7 @@ class TestHttp:
             return health, submitted, again, looked_up, stats
 
         health, submitted, again, looked_up, stats = with_server(exercise)
-        assert health == {"ok": True}
+        assert health == {"ok": True, "draining": False}
         assert submitted["cached"] is False
         assert again["cached"] is True
         assert looked_up["result"] == submitted["result"]
